@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark targets.
+
+Every bench (a) regenerates one table/figure of the paper through the
+runners in :mod:`repro.experiments`, (b) records the produced rows under
+``benchmarks/output/`` so the numbers survive pytest's stdout capture, and
+(c) reports the wall time through pytest-benchmark (``pedantic`` with a
+single round — these are experiment regenerations, not microbenchmarks;
+the Figure 11 bench is the one doing genuine operation timing).
+
+Scaling: run counts default to small CI-friendly values and are
+overridable via ``REPRO_*`` environment variables (see EXPERIMENTS.md for
+the settings used for the committed results).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Callable, Sequence
+
+from repro.experiments.common import format_table
+
+OUTPUT_DIR = pathlib.Path(__file__).resolve().parent / "output"
+
+
+def record(name: str, text: str) -> None:
+    """Persist a bench's table under benchmarks/output/<name>.txt."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def record_rows(name: str, title: str, rows: Sequence[dict[str, Any]], columns=None) -> None:
+    text = f"== {title} ==\n{format_table(rows, columns)}"
+    record(name, text)
+    print("\n" + text)
+
+
+def run_once(benchmark, func: Callable[[], Any]) -> Any:
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

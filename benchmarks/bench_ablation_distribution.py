@@ -1,0 +1,41 @@
+"""Ablation: the approximated distribution Eq. (8) vs geometric Eq. (2).
+
+Sec. 3.2 argues Eq. (8) keeps the ML equation small: all probabilities are
+powers of two, so the likelihood collapses to at most ``64 - p - t``
+exponent classes. A geometric base ``b != 2`` would give one term per
+distinct update value. This bench counts both and measures the KL
+divergence that Figure 2 depicts visually.
+"""
+
+from _common import record_rows, run_once
+
+from repro.core.distribution import kl_divergence_to_geometric, phi
+from repro.core.params import make_params
+
+
+def test_ml_term_counts(benchmark):
+    def run():
+        rows = []
+        for t, d, p in ((1, 9, 8), (2, 20, 8), (2, 24, 11), (3, 5, 8)):
+            params = make_params(t, d, p)
+            k_max = params.max_update_value
+            approx_terms = len({phi(k, params) for k in range(1, k_max + 1)})
+            geometric_terms = k_max  # one distinct probability per value
+            rows.append(
+                {
+                    "config": f"ELL({t},{d},p={p})",
+                    "update_values": k_max,
+                    "ml_terms_eq8": approx_terms,
+                    "ml_terms_geometric": geometric_terms,
+                    "reduction": geometric_terms / approx_terms,
+                    "kl_divergence_to_geometric": kl_divergence_to_geometric(t),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    record_rows("ablation_distribution", "Eq. (8) vs Eq. (2): ML equation size", rows)
+    for row in rows:
+        assert row["ml_terms_eq8"] <= 64
+        assert row["reduction"] >= 2.0
+        assert row["kl_divergence_to_geometric"] < 0.05  # Figure 2's closeness

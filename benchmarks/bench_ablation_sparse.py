@@ -1,0 +1,45 @@
+"""Ablation: sparse-mode break-even (Sec. 4.3).
+
+Memory of the token set vs the dense register array as n grows, and the
+losslessness of the transition.
+"""
+
+from _common import record_rows, run_once
+
+from repro.core.exaloglog import ExaLogLog
+from repro.core.sparse import SparseExaLogLog
+from repro.simulation.rng import numpy_generator, random_hashes
+
+
+def test_sparse_break_even(benchmark):
+    def run():
+        rows = []
+        for n in (10, 50, 100, 200, 224, 250, 500, 2000):
+            hashes = random_hashes(numpy_generator(0x5BA6, n), n).tolist()
+            sparse = SparseExaLogLog(2, 20, 8, v=26)
+            dense = ExaLogLog(2, 20, 8)
+            for h in hashes:
+                sparse.add_hash(h)
+                dense.add_hash(h)
+            rows.append(
+                {
+                    "n": n,
+                    "sparse_mode": sparse.is_sparse,
+                    "sparse_memory": sparse.memory_bytes,
+                    "dense_memory": dense.memory_bytes,
+                    "sparse_serialized": len(sparse.to_bytes()),
+                    "estimate_error": sparse.estimate() / n - 1.0,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    record_rows("ablation_sparse", "Sparse-mode break-even (ELL(2,20,p=8), v=26)", rows)
+    small = rows[0]
+    large = rows[-1]
+    assert small["sparse_mode"] and small["sparse_memory"] < small["dense_memory"] / 10
+    assert not large["sparse_mode"]
+    assert large["sparse_memory"] == large["dense_memory"]
+    # Estimation stays accurate through the transition.
+    for row in rows:
+        assert abs(row["estimate_error"]) < 0.12

@@ -1,0 +1,12 @@
+"""Figure 1: memory over relative standard error for different MVPs."""
+
+from _common import record_rows, run_once
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark):
+    rows = run_once(benchmark, figure1.run)
+    record_rows("figure1", "Figure 1: memory (bytes) vs relative standard error", rows)
+    # Shape: memory scales with MVP and with error**-2.
+    assert rows[0]["MVP=8_bytes"] == 4 * rows[0]["MVP=2_bytes"]

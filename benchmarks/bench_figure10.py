@@ -1,0 +1,40 @@
+"""Figure 10: memory footprint and empirical MVP vs distinct count."""
+
+from _common import record_rows, run_once
+
+from repro.experiments import figure10
+from repro.experiments.common import env_int
+
+RUNS = env_int("REPRO_RUNS_FIGURE10", 24)
+N_MAX = env_int("REPRO_N_FIGURE10", 100_000)
+
+
+def test_figure10(benchmark):
+    results = run_once(benchmark, lambda: figure10.run(n_max=N_MAX, runs=RUNS))
+    for name, rows in results.items():
+        safe = name.replace(" ", "_").replace("(", "").replace(")", "").replace(",", "_")
+        record_rows(f"figure10_{safe}", f"Figure 10: {name} ({RUNS} runs)", rows)
+
+    def series(name):
+        return results[name]
+
+    # 1. ELL memory is constant in n.
+    ell = series("ELL (t=2,d=20,p=8)")
+    assert len({row["memory_bytes"] for row in ell}) == 1
+    # 2. Sparse ELL is smaller than dense ELL at small n and converges.
+    sparse = series("ELL sparse (t=2,d=20,p=8,v=26)")
+    assert sparse[0]["memory_bytes"] < ell[0]["memory_bytes"] / 4
+    assert sparse[-1]["memory_bytes"] >= ell[-1]["memory_bytes"]
+    # 3. SpikeSketch MVP blows up at small n (Sec. 5.2).
+    spike = series("SpikeSketch (128)")
+    assert spike[0]["empirical_mvp"] > 10 * spike[-1]["empirical_mvp"]
+    # 4. HLLL shows an error spike in the linear-counting hand-over region
+    #    (n ~ 2.5 m ~ 5e3) relative to its asymptotic error.
+    hlll = series("HLLL (p=11)")
+    by_n = {row["n"]: row["rmse_%"] for row in hlll}
+    spike_region = max(v for n, v in by_n.items() if 2e3 <= n <= 2e4)
+    assert spike_region > by_n[max(by_n)] * 1.05
+    # 5. At large n, ELL has the smallest empirical MVP among dense sketches.
+    final_mvp = {name: rows[-1]["empirical_mvp"] for name, rows in results.items()}
+    assert final_mvp["ELL (t=2,d=20,p=8)"] < final_mvp["HLL (6-bit, p=11)"]
+    assert final_mvp["ELL (t=2,d=20,p=8)"] < final_mvp["ULL (ML, p=10)"]

@@ -1,0 +1,119 @@
+"""Figure 11: operation timings (insert / estimate / serialize / merge).
+
+Genuine pytest-benchmark microbenchmarks (not pedantic single shots).
+Absolute numbers are CPython, not the paper's JVM/C++; the assertions
+check the *relative* observations of Sec. 5.3 that survive the language
+change: per-element insert cost independent of n for the constant-time
+sketches, CPC serialization an order of magnitude slower, martingale
+estimation O(1).
+"""
+
+import time
+
+import pytest
+from _common import record_rows
+
+from repro.experiments.common import env_int
+from repro.experiments.figure11 import make_operation
+from repro.experiments.suite import figure11_suite
+
+N_LARGE = env_int("REPRO_N_FIGURE11", 50_000)
+SUITE = {spec.name: spec for spec in figure11_suite()}
+
+#: A representative cross-section (running all 13 algorithms x 5 ops x 2 n
+#: under full pytest-benchmark statistics would take tens of minutes).
+TIMED_ALGORITHMS = [
+    "ELL (t=2,d=20,p=8)",
+    "ELL (t=2,d=20,p=8, martingale)",
+    "HLL (6-bit, p=11)",
+    "ULL (ML, p=10)",
+    "CPC (p=10)",
+    "HLLL (p=11)",
+    "SpikeSketch (128)",
+]
+
+
+@pytest.mark.parametrize("name", TIMED_ALGORITHMS)
+@pytest.mark.parametrize("operation", ["insert", "estimate", "serialize", "merge"])
+def test_operation_timing(benchmark, name, operation):
+    spec = SUITE[name]
+    try:
+        func, work = make_operation(spec, operation, n=10_000)
+    except NotImplementedError:
+        pytest.skip(f"{name} does not support {operation}")
+    benchmark.group = operation
+    benchmark.extra_info["per_element_work"] = work
+    benchmark(func)
+
+
+def test_insert_constant_time_claim(benchmark):
+    """ELL per-element insert cost must not grow with n (Sec. 5.3)."""
+    spec = SUITE["ELL (t=2,d=20,p=8)"]
+
+    def measure(n: int) -> float:
+        func, work = make_operation(spec, "insert", n)
+        best = min(_timed(func) for _ in range(3))
+        return best / work
+
+    def run():
+        return measure(1_000), measure(N_LARGE)
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(
+        "figure11_constant_insert",
+        "ELL per-element insert time vs n",
+        [
+            {"n": 1_000, "seconds_per_insert": small},
+            {"n": N_LARGE, "seconds_per_insert": large},
+        ],
+    )
+    assert large < small * 3.0  # constant within noise (allocation amortises)
+
+
+def test_cpc_serialization_slow_claim(benchmark):
+    """CPC serialize must be >10x slower than ELL serialize (Sec. 5.3)."""
+    ell_func, _ = make_operation(SUITE["ELL (t=2,d=20,p=8)"], "serialize", 10_000)
+    cpc_func, _ = make_operation(SUITE["CPC (p=10)"], "serialize", 10_000)
+
+    def run():
+        return min(_timed(ell_func) for _ in range(5)), min(
+            _timed(cpc_func) for _ in range(3)
+        )
+
+    ell_time, cpc_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(
+        "figure11_cpc_serialize",
+        "Serialize times (s)",
+        [{"sketch": "ELL(2,20,p=8)", "seconds": ell_time},
+         {"sketch": "CPC(p=10)", "seconds": cpc_time}],
+    )
+    assert cpc_time > 10.0 * ell_time
+
+
+def test_martingale_estimate_is_constant_time(benchmark):
+    """Martingale-tracking sketches answer estimates in O(1) (Sec. 5.3)."""
+    mart_func, _ = make_operation(
+        SUITE["ELL (t=2,d=20,p=8, martingale)"], "estimate", 10_000
+    )
+    ml_func, _ = make_operation(SUITE["ELL (t=2,d=20,p=8)"], "estimate", 10_000)
+
+    def run():
+        return min(_timed(mart_func, loops=100) for _ in range(3)), min(
+            _timed(ml_func, loops=10) for _ in range(3)
+        )
+
+    mart_time, ml_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(
+        "figure11_estimate",
+        "Estimate times (s)",
+        [{"estimator": "martingale", "seconds": mart_time},
+         {"estimator": "ml", "seconds": ml_time}],
+    )
+    assert mart_time < ml_time
+
+
+def _timed(func, loops: int = 1) -> float:
+    start = time.perf_counter()
+    for _ in range(loops):
+        func()
+    return (time.perf_counter() - start) / loops

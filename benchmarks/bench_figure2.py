@@ -1,0 +1,16 @@
+"""Figure 2: geometric vs approximated update-value PMFs (t = 1, 2)."""
+
+import pytest
+from _common import record_rows, run_once
+
+from repro.experiments import figure2
+
+
+@pytest.mark.parametrize("t", [1, 2])
+def test_figure2_panel(benchmark, t):
+    rows = run_once(benchmark, lambda: figure2.run(t))
+    record_rows(f"figure2_t{t}", f"Figure 2 panel t={t}", rows)
+    checks = figure2.chunk_check(t)
+    for row in checks:
+        assert row["approximate_sum"] == pytest.approx(row["expected_2^-(c+1)"])
+        assert row["geometric_sum"] == pytest.approx(row["expected_2^-(c+1)"])

@@ -1,0 +1,19 @@
+"""Figure 3: the worked two-insertion example (p=2, t=2, d=6)."""
+
+from _common import record_rows, run_once
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark):
+    rows = run_once(benchmark, figure3.run)
+    record_rows("figure3", "Figure 3 walkthrough (14-bit registers)", rows)
+    first, second = rows
+    # Both insertions hit the same register; the second has a smaller
+    # update value and therefore only sets a window bit.
+    assert first["register"] == second["register"]
+    assert second["update_value_k"] < first["update_value_k"]
+    assert second["max_u"] == first["update_value_k"]
+    # The window records the second value at offset u - k.
+    offset = first["update_value_k"] - second["update_value_k"]
+    assert second["window_bits"][offset - 1] == "1"

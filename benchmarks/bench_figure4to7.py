@@ -1,0 +1,26 @@
+"""Figures 4-7: the four MVP formulas swept over d, plus the named points."""
+
+import pytest
+from _common import record_rows, run_once
+
+from repro.experiments import figure4to7
+
+
+@pytest.mark.parametrize("figure", ["figure4", "figure5", "figure6", "figure7"])
+def test_mvp_sweep(benchmark, figure):
+    rows = run_once(benchmark, lambda: figure4to7.sweep(figure))
+    record_rows(figure, f"{figure}: {figure4to7.FIGURES[figure][0]}", rows[::4])
+    minima = figure4to7.minima(figure)
+    record_rows(f"{figure}_minima", f"{figure} minima", minima)
+
+
+def test_named_configurations(benchmark):
+    rows = run_once(benchmark, figure4to7.named_points)
+    record_rows("figure4to7_named", "Named configurations (Sec. 2.4)", rows)
+    by_name = {row["config"]: row for row in rows}
+    # The paper's headline numbers.
+    assert by_name["ELL(2,20)"]["dense_ml"] == pytest.approx(3.67, abs=0.01)
+    assert by_name["ELL(2,24)"]["dense_ml"] == pytest.approx(3.78, abs=0.01)
+    assert by_name["ELL(1,9)"]["dense_ml"] == pytest.approx(3.90, abs=0.01)
+    assert by_name["ELL(2,16)"]["dense_martingale"] == pytest.approx(2.77, abs=0.01)
+    assert by_name["ELL(2,20)"]["saving_vs_hll_%"] == pytest.approx(43.0, abs=0.5)

@@ -1,0 +1,42 @@
+"""Figure 8: bias/RMSE of ML and martingale estimators up to the exa-scale.
+
+16 panels: (t,d) in {(1,9),(2,16),(2,20),(2,24)} x p in {4,6,8,10}. Runs
+default to REPRO_RUNS_FIGURE8 (16 here for bench turnaround; the paper uses
+100 000 — see EXPERIMENTS.md for the convergence discussion).
+"""
+
+import pytest
+from _common import record_rows, run_once
+
+from repro.experiments import figure8
+from repro.experiments.common import env_int
+
+RUNS = env_int("REPRO_RUNS_FIGURE8", 16)
+
+
+@pytest.mark.parametrize("t,d", [(1, 9), (2, 16), (2, 20), (2, 24)])
+@pytest.mark.parametrize("p", [4, 6, 8, 10])
+def test_figure8_panel(benchmark, t, d, p):
+    evaluation = run_once(benchmark, lambda: figure8.run_panel(t, d, p, runs=RUNS))
+    rows = figure8.panel_rows(evaluation)
+    record_rows(
+        f"figure8_t{t}_d{d}_p{p}",
+        f"Figure 8 panel t={t} d={d} p={p} ({RUNS} runs)",
+        rows,
+    )
+    # Paper claims (loose Monte-Carlo tolerances at small run counts):
+    # 1. RMSE ~ theory for intermediate n.
+    theory = evaluation.ml.theoretical_rmse
+    intermediate = [
+        rmse
+        for n, rmse in zip(evaluation.ml.checkpoints, evaluation.ml.relative_rmse)
+        if 1e4 <= n <= 1e17
+    ]
+    mean_intermediate = sum(intermediate) / len(intermediate)
+    assert mean_intermediate == pytest.approx(theory, rel=0.5)
+    # 2. Much smaller error for small n.
+    assert evaluation.ml.relative_rmse[0] < theory
+    # 3. Martingale theory beats ML theory (Sec. 2.4).
+    assert evaluation.martingale.theoretical_rmse < theory
+    # 4. Newton never needs more than 10 iterations (Appendix A).
+    assert evaluation.newton_iterations_max <= 10

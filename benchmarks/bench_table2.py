@@ -1,0 +1,45 @@
+"""Table 2: space-efficiency comparison of all ten algorithms.
+
+Paper (n=1e6, 1M runs): HLL8 9.66 > HLL6 7.54 > HLL-ML 6.63 > HLL4 5.60 >
+CPC 5.30 > ULL 4.78 > HLLL 4.64 > Spike >= 4.19 > ELL(2,24) 3.93 >
+ELL(2,20) 3.86; CPC serialized 2.46. Known deviations of this reproduction
+(documented in EXPERIMENTS.md): our CPC surrogate uses ML estimation and a
+near-entropy coder, landing *better* than DataSketches CPC; our SpikeSketch
+model lands *worse* than the (unconfirmed) published MVP.
+"""
+
+from _common import record_rows, run_once
+
+from repro.experiments import table2
+from repro.experiments.common import env_int
+
+RUNS = env_int("REPRO_RUNS_TABLE2", 64)
+N = env_int("REPRO_N_TABLE2", 100_000)
+
+
+def test_table2(benchmark):
+    rows = run_once(benchmark, lambda: table2.run(n=N, runs=RUNS))
+    record_rows("table2", f"Table 2 (n={N}, {RUNS} runs, sorted by memory MVP)", rows)
+    mvp = {row["algorithm"]: row["mvp_memory"] for row in rows}
+    serialized_mvp = {row["algorithm"]: row["mvp_serialized"] for row in rows}
+
+    # Headline orderings the paper reports (robust at >= 64 runs):
+    # 1. ELL beats every HLL flavour and ULL in memory MVP.
+    for ell in ("ELL (t=2,d=20,p=8)", "ELL (t=2,d=24,p=8)"):
+        for other in ("HLL (8-bit, p=11)", "HLL (6-bit, p=11)", "HLL (ML, p=11)",
+                      "ULL (ML, p=10)"):
+            assert mvp[ell] < mvp[other], (ell, other)
+    # 2. ELL(2,20) is the most space-efficient dense sketch. Our HLL4 and
+    #    HLLL models are leaner than the originals and sit within a few
+    #    percent of it (EXPERIMENTS.md note 2), so allow Monte-Carlo slack.
+    assert mvp["ELL (t=2,d=20,p=8)"] <= 1.15 * min(
+        v for k, v in mvp.items() if k != "CPC (p=10)"
+    )
+    # 3. The 8-bit > 6-bit > ML ordering within the HLL family.
+    assert mvp["HLL (8-bit, p=11)"] > mvp["HLL (6-bit, p=11)"] >= mvp["HLL (ML, p=11)"] * 0.95
+    # 4. CPC's serialized MVP is far below its in-memory MVP.
+    assert serialized_mvp["CPC (p=10)"] < 0.75 * mvp["CPC (p=10)"]
+    # 5. Everything stays above the conjectured 1.98 bound... except that
+    #    serialized CPC with ML estimation may approach it; nothing beats it
+    #    by a wide margin.
+    assert all(v > 1.0 for v in serialized_mvp.values())

@@ -1,0 +1,58 @@
+"""Metagenomics: distinct k-mer counting on synthetic sequencing reads.
+
+Tools like Dashing and KrakenUniq use HyperLogLog to estimate k-mer
+cardinalities (paper Sec. 1 application list). This example runs the same
+pipeline with ExaLogLog and shows the space saving at matched accuracy:
+an ELL(2, 20) sketch needs ~43 % fewer register bits than 6-bit HLL for
+the same standard error.
+
+Run:  python examples/kmer_cardinality.py
+"""
+
+from repro import ExaLogLog
+from repro.baselines import HyperLogLog
+from repro.theory import mvp_hll, mvp_ml_dense
+from repro.workloads import canonical_kmers, random_genome, sequencing_reads
+
+
+def main() -> None:
+    genome = random_genome(200_000, seed=11)
+    k = 21
+
+    # Ground truth on the genome's own k-mer set.
+    truth = len(set(canonical_kmers(genome, k)))
+
+    # Stream reads (5x coverage, 0.1 % sequencing errors) through sketches
+    # of comparable byte budgets: ELL(2,20,p=10) takes 3584 bytes for a
+    # theoretical 1.13 % standard error; HLL needs p=12 (3072 bytes) and
+    # still only reaches 1.62 %.
+    ell = ExaLogLog(t=2, d=20, p=10)
+    hll = HyperLogLog(p=12)
+    read_kmers = 0
+    for read in sequencing_reads(genome, read_length=100, coverage=5.0,
+                                 error_rate=0.001, seed=12):
+        for kmer in canonical_kmers(read, k):
+            ell.add(kmer)
+            hll.add(kmer)
+            read_kmers += 1
+
+    print(f"genome length          : {len(genome)} bp")
+    print(f"k-mer stream length    : {read_kmers} ({k}-mers, with duplicates)")
+    print(f"distinct k-mers genome : {truth}")
+    print("(reads contain a few extra distinct k-mers from sequencing errors)")
+    print()
+    ell_est = ell.estimate()
+    hll_est = hll.estimate_ml()
+    print(f"ExaLogLog(2,20,p=10)   : {ell_est:12.1f}  using {ell.register_array_bytes} bytes (theory +-1.13%)")
+    print(f"HyperLogLog(p=12)      : {hll_est:12.1f}  using {hll.register_array_bytes} bytes (theory +-1.62%)")
+    print()
+    saving = 1.0 - mvp_ml_dense(2, 20) / mvp_hll()
+    print(f"equal-accuracy space saving (theory, Eq. (3)): {saving:.1%}")
+    print(
+        "note: at equal byte budgets ExaLogLog would instead give "
+        f"{(mvp_hll() / mvp_ml_dense(2, 20)) ** 0.5 - 1:.1%} lower standard error"
+    )
+
+
+if __name__ == "__main__":
+    main()

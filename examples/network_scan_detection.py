@@ -1,0 +1,53 @@
+"""Port-scan detection with per-source distinct-flow counting.
+
+Network monitors flag sources that contact unusually many distinct
+(destination, port) pairs — a classic HyperLogLog application (paper
+Sec. 1 cites HLL-based port-scan and DDoS detection). Keeping one small
+ExaLogLog per source makes the per-source distinct-flow count cheap; the
+43 % space saving translates directly into more tracked sources per
+gigabyte of monitor memory.
+
+Run:  python examples/network_scan_detection.py
+"""
+
+from repro import ExaLogLog
+from repro.workloads import flow_stream
+
+
+def main() -> None:
+    per_source: dict[str, ExaLogLog] = {}
+    observed = 0
+    for record in flow_stream(
+        length=60_000, sources=40, scanner="10.0.0.666", scanner_fraction=0.04, seed=3
+    ):
+        sketch = per_source.get(record.source)
+        if sketch is None:
+            # p=8 keeps each source at 896 bytes; plenty for a threshold test.
+            sketch = ExaLogLog(t=2, d=20, p=8)
+            per_source[record.source] = sketch
+        sketch.add(record.flow_key())
+        observed += 1
+
+    estimates = {source: sketch.estimate() for source, sketch in per_source.items()}
+    # The median is robust against the scanner inflating the baseline.
+    ordered = sorted(estimates.values())
+    median = ordered[len(ordered) // 2]
+    threshold = 8.0 * median
+
+    print(f"flows observed        : {observed}")
+    print(f"sources tracked       : {len(per_source)}")
+    print(f"memory per source     : {next(iter(per_source.values())).register_array_bytes} bytes")
+    print(f"median distinct flows : {median:.1f}   alert threshold: {threshold:.1f}")
+    print()
+    flagged = {s: e for s, e in estimates.items() if e > threshold}
+    for source, estimate in sorted(flagged.items(), key=lambda kv: -kv[1]):
+        print(f"ALERT {source:<12} ~{estimate:8.0f} distinct flows (port scan)")
+    top_normal = max(
+        (e for s, e in estimates.items() if s not in flagged), default=0.0
+    )
+    print(f"(largest normal source: ~{top_normal:.0f} distinct flows)")
+    assert "10.0.0.666" in flagged, "the scanner should have been detected"
+
+
+if __name__ == "__main__":
+    main()

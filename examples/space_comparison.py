@@ -1,0 +1,62 @@
+"""Head-to-head space efficiency on a realistic duplicate-heavy stream.
+
+Feeds the same Zipf-distributed stream (a stand-in for a database column:
+a few hot keys, a long tail) to every sketch of the paper's Table 2 suite
+and prints estimate, error and size — a miniature live version of Table 2.
+
+Run:  python examples/space_comparison.py
+"""
+
+from repro import ExaLogLog, SparseExaLogLog
+from repro.baselines import (
+    CpcSketch,
+    ExactCounter,
+    HllCompact4,
+    HyperLogLog,
+    HyperLogLogLog,
+    PCSA,
+    SpikeSketch,
+    UltraLogLog,
+)
+from repro.workloads import zipf_stream
+
+
+def main() -> None:
+    sketches = {
+        "ExaLogLog(2,20,p=8)": ExaLogLog(2, 20, 8),
+        "ExaLogLog(2,24,p=8)": ExaLogLog(2, 24, 8),
+        "SparseExaLogLog": SparseExaLogLog(2, 20, 8),
+        "UltraLogLog(p=10)": UltraLogLog(10),
+        "HyperLogLog(p=11)": HyperLogLog(11),
+        "HLL 4-bit(p=11)": HllCompact4(11),
+        "HyperLogLogLog(p=11)": HyperLogLogLog(11),
+        "PCSA(p=10)": PCSA(10),
+        "CPC(p=10)": CpcSketch(10),
+        "SpikeSketch(128)": SpikeSketch(128),
+        "exact (hash set)": ExactCounter(),
+    }
+
+    stream_length = 300_000
+    distinct_keys = 80_000
+    exact = ExactCounter()
+    for key in zipf_stream(stream_length, distinct_keys, exponent=1.1, seed=42):
+        exact.add(key)
+        for sketch in sketches.values():
+            sketch.add(key)
+
+    truth = exact.estimate()
+    print(f"stream: {stream_length} elements, {truth:.0f} distinct (Zipf 1.1)\n")
+    header = f"{'sketch':<22} {'estimate':>10} {'error':>8} {'memory':>8} {'serialized':>10}"
+    print(header)
+    print("-" * len(header))
+    for name, sketch in sketches.items():
+        estimate = sketch.estimate()
+        error = estimate / truth - 1.0
+        print(
+            f"{name:<22} {estimate:>10.0f} {error:>+8.2%} "
+            f"{sketch.memory_bytes:>8} {len(sketch.to_bytes()):>10}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim; metadata lives in pyproject.toml.
+
+Kept so the package installs in offline environments whose setuptools
+lacks the `wheel` package required for PEP 660 editable installs.
+"""
+from setuptools import setup
+
+setup()

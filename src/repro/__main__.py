@@ -1,0 +1,47 @@
+"""Top-level CLI: ``python -m repro``.
+
+Prints the library banner, the available experiments, and the theoretical
+properties of the paper's named configurations.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    import repro
+    from repro.experiments import EXPERIMENTS
+    from repro.theory.mvp import (
+        mvp_hll,
+        mvp_martingale_dense,
+        mvp_ml_dense,
+        savings_vs_hll,
+    )
+
+    print(f"repro {repro.__version__} — ExaLogLog (Ertl, EDBT 2025) reproduction")
+    print()
+    print("named configurations (dense storage):")
+    header = f"  {'config':<12} {'bits/reg':>8} {'MVP (ML)':>9} {'MVP (mart.)':>11} {'vs HLL':>8}"
+    print(header)
+    for name, t, d in (
+        ("HLL", 0, 0),
+        ("ULL", 0, 2),
+        ("ELL(1,9)", 1, 9),
+        ("ELL(2,16)", 2, 16),
+        ("ELL(2,20)", 2, 20),
+        ("ELL(2,24)", 2, 24),
+    ):
+        ml = mvp_ml_dense(t, d)
+        print(
+            f"  {name:<12} {6 + t + d:>8} {ml:>9.2f} "
+            f"{mvp_martingale_dense(t, d):>11.2f} {savings_vs_hll(ml):>7.1%}"
+        )
+    print(f"\n(HLL reference MVP: {mvp_hll():.3f})")
+    print("\nexperiments (python -m repro.experiments <name>):")
+    print("  " + ", ".join(EXPERIMENTS))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

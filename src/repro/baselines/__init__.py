@@ -1,0 +1,33 @@
+"""Every baseline sketch the paper compares ExaLogLog against (Table 2)."""
+
+from repro.baselines.base import OBJECT_OVERHEAD_BYTES, DistinctCounter
+from repro.baselines.cpc import CpcSketch
+from repro.baselines.exact import ExactCounter
+from repro.baselines.hll_compact4 import HllCompact4
+from repro.baselines.hyperloglog import HyperLogLog, MartingaleHyperLogLog
+from repro.baselines.hyperlogloglog import HyperLogLogLog
+from repro.baselines.hyperminhash import HyperMinHash
+from repro.baselines.pcsa import PCSA
+from repro.baselines.spikesketch import SpikeSketch
+from repro.baselines.ultraloglog import (
+    ExtendedHyperLogLog,
+    MartingaleUltraLogLog,
+    UltraLogLog,
+)
+
+__all__ = [
+    "CpcSketch",
+    "DistinctCounter",
+    "ExactCounter",
+    "ExtendedHyperLogLog",
+    "HllCompact4",
+    "HyperLogLog",
+    "HyperLogLogLog",
+    "HyperMinHash",
+    "MartingaleHyperLogLog",
+    "MartingaleUltraLogLog",
+    "OBJECT_OVERHEAD_BYTES",
+    "PCSA",
+    "SpikeSketch",
+    "UltraLogLog",
+]

@@ -1,0 +1,82 @@
+"""Common interface for every distinct counter in the library.
+
+Table 2 and Figures 10-11 compare ten algorithms on identical operations
+(insert, estimate, serialize, merge). :class:`DistinctCounter` pins down
+that operation set plus the two size accounts the paper reports:
+
+``serialized_size_bytes``
+    honest byte count of :meth:`to_bytes` output.
+``memory_bytes``
+    modelled in-memory footprint (payload + declared auxiliary fields +
+    :data:`OBJECT_OVERHEAD_BYTES`); see DESIGN.md Sec. 3 for why Java heap
+    sizes are modelled rather than measured.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable
+
+from repro.hashing import hash64
+
+#: Fixed overhead standing in for an object header + array header, applied
+#: uniformly to every sketch when modelling in-memory size.
+OBJECT_OVERHEAD_BYTES = 16
+
+
+class DistinctCounter(abc.ABC):
+    """Abstract base class for approximate distinct counters."""
+
+    #: Whether the insert operation runs in constant time regardless of the
+    #: sketch size (the last column of Table 2).
+    constant_time_insert: bool = True
+
+    #: Whether the structure supports merging partial results.
+    supports_merge: bool = True
+
+    def add(self, item: Any, seed: int = 0) -> "DistinctCounter":
+        """Insert an element (hashed with Murmur3); returns ``self``."""
+        self.add_hash(hash64(item, seed))
+        return self
+
+    def add_all(self, items: Iterable[Any], seed: int = 0) -> "DistinctCounter":
+        """Insert every element of an iterable; returns ``self``."""
+        for item in items:
+            self.add_hash(hash64(item, seed))
+        return self
+
+    @abc.abstractmethod
+    def add_hash(self, hash_value: int) -> bool:
+        """Insert a 64-bit hash; returns True when the state changed."""
+
+    @abc.abstractmethod
+    def estimate(self) -> float:
+        """Distinct-count estimate."""
+
+    @abc.abstractmethod
+    def merge_inplace(self, other: "DistinctCounter") -> "DistinctCounter":
+        """Merge another counter of identical configuration into this one."""
+
+    @abc.abstractmethod
+    def to_bytes(self) -> bytes:
+        """Serialize the counter."""
+
+    @property
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Modelled in-memory footprint (see module docstring)."""
+
+    @property
+    def serialized_size_bytes(self) -> int:
+        """Size of :meth:`to_bytes` output (default: measure it)."""
+        return len(self.to_bytes())
+
+    def merge(self, other: "DistinctCounter") -> "DistinctCounter":
+        """Out-of-place merge."""
+        result = self.copy()
+        result.merge_inplace(other)
+        return result
+
+    @abc.abstractmethod
+    def copy(self) -> "DistinctCounter":
+        """Deep copy."""

@@ -1,0 +1,41 @@
+"""HyperMinHash as an ExaLogLog special case (paper Sec. 2.5).
+
+HyperMinHash [Yu & Weber 2022] stores, per bucket, the maximum of update
+values drawn from exactly the distribution Eq. (8) — i.e. it "corresponds
+to ELL(t, 0), whose registers only store the maxima of update values"
+(Sec. 2.5; HyperMinHash orders register and value bits differently, which
+does not affect any statistic). Its purpose is MinHash-style set
+similarity in log-log space; the containment/Jaccard estimators from
+:mod:`repro.setops` apply directly.
+
+This class exposes the special case by name; everything (insert, ML
+estimation via Alg. 3/8, merge, reduction) is inherited.
+"""
+
+from __future__ import annotations
+
+from repro.core.exaloglog import ExaLogLog
+
+
+class HyperMinHash(ExaLogLog):
+    """HyperMinHash: ELL(t, 0) — max-only registers of ``6 + t`` bits.
+
+    ``t`` controls the sub-bucket resolution (HyperMinHash's "r" bits play
+    the role of ELL's low ``t`` hash bits).
+
+    >>> sketch = HyperMinHash(t=2, p=10)
+    >>> sketch.params.register_bits
+    8
+    """
+
+    def __init__(self, t: int = 2, p: int = 10) -> None:
+        super().__init__(t=t, d=0, p=p)
+
+    @classmethod
+    def from_exaloglog(cls, sketch: ExaLogLog) -> "HyperMinHash":
+        """Adopt any ELL(t, 0) state (e.g. obtained by reducing d to 0)."""
+        if sketch.d != 0:
+            raise ValueError(f"not an ELL(t, 0) state: {sketch.params}")
+        result = cls(sketch.t, sketch.p)
+        result._registers = list(sketch.registers)
+        return result

@@ -1,0 +1,213 @@
+"""PCSA / FM-sketch (Flajolet & Martin 1985; paper Sec. 1.1 and 2.5).
+
+Probabilistic counting with stochastic averaging keeps, per stochastic
+bucket, a *bitmap* with one bit per geometric level — unlike HLL it
+remembers every level ever hit, not just the maximum. Sec. 2.5 notes that
+PCSA stores exactly the same information as ELL(0, 64); its uncompressed
+MVP is poor but its entropy is low, which is why compressed variants (CPC)
+approach the 1.98 bound.
+
+Two estimators:
+
+* :meth:`PCSA.estimate_fm` — the original Flajolet-Martin estimator based
+  on the mean position of the lowest unset bit (``n ~ m 2**R / 0.77351``).
+* :meth:`PCSA.estimate` — ML estimation, implementing the paper's Sec. 6
+  suggestion that the reduced ML equation should work for PCSA too: the
+  bitmap likelihood has exactly the Eq. (15) shape, so the shared Newton
+  solver applies unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import OBJECT_OVERHEAD_BYTES, DistinctCounter
+from repro.estimation.newton import solve_ml_equation
+from repro.storage.serialization import (
+    SerializationError,
+    TAG_PCSA,
+    read_header,
+    write_header,
+)
+
+#: Flajolet-Martin's magic constant (the expectation correction phi).
+_FM_PHI = 0.77351
+
+
+class PCSA(DistinctCounter):
+    """FM-sketch: ``m = 2**p`` bitmaps over geometric levels.
+
+    Level ``k`` (0-based) of bucket ``i`` is set when an element hashed to
+    bucket ``i`` with ``nlz(remaining bits) == k``; level probabilities are
+    ``2**-(k+1)`` with the final level absorbing the tail.
+    """
+
+    __slots__ = ("_bitmaps", "_levels", "_m", "_p")
+
+    def __init__(self, p: int = 10) -> None:
+        if not 2 <= p <= 26:
+            raise ValueError(f"p must be in [2, 26], got {p}")
+        self._p = p
+        self._m = 1 << p
+        # nlz of the remaining 64-p bits lies in [0, 64-p]; level 64-p
+        # (all remaining bits zero) is folded into the last level.
+        self._levels = 64 - p
+        self._bitmaps = [0] * self._m
+
+    @property
+    def p(self) -> int:
+        return self._p
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    @property
+    def levels(self) -> int:
+        """Number of levels per bitmap."""
+        return self._levels
+
+    @property
+    def bitmaps(self) -> tuple[int, ...]:
+        return tuple(self._bitmaps)
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(self._bitmaps)
+
+    def __repr__(self) -> str:
+        return f"PCSA(p={self._p}, levels={self._levels})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PCSA):
+            return NotImplemented
+        return self._p == other._p and self._bitmaps == other._bitmaps
+
+    # -- operations ------------------------------------------------------------
+
+    def add_hash(self, hash_value: int) -> bool:
+        index = hash_value >> (64 - self._p)
+        masked = hash_value & ((1 << (64 - self._p)) - 1)
+        level = min(64 - self._p - masked.bit_length(), self._levels - 1)
+        bit = 1 << level
+        if self._bitmaps[index] & bit:
+            return False
+        self._bitmaps[index] |= bit
+        return True
+
+    def level_probability(self, level: int) -> float:
+        """Per-element probability of hitting ``level`` in a given bucket."""
+        if not 0 <= level < self._levels:
+            raise ValueError(f"level {level} out of range")
+        if level == self._levels - 1:
+            return 2.0 ** -(self._levels - 1)  # tail-absorbing last level
+        return 2.0 ** -(level + 1)
+
+    # -- estimation ---------------------------------------------------------------
+
+    def estimate(self) -> float:
+        return self.estimate_ml()
+
+    def estimate_ml(self) -> float:
+        """ML estimation via the shared Eq. (15)-shaped likelihood.
+
+        Set bit at level k:   contributes ln(1 - exp(-n rho_k / m))
+        Unset bit at level k: contributes -n rho_k / m
+        with rho_k a power of two, so beta is keyed by the exponent.
+        """
+        alpha = 0.0
+        beta: dict[int, int] = {}
+        last = self._levels - 1
+        for bitmap in self._bitmaps:
+            for level in range(self._levels):
+                exponent = level + 1 if level < last else last
+                if (bitmap >> level) & 1:
+                    beta[exponent] = beta.get(exponent, 0) + 1
+                else:
+                    alpha += 2.0 ** -exponent
+        return self._m * solve_ml_equation(alpha, beta).nu
+
+    def estimate_fm(self) -> float:
+        """The original Flajolet-Martin estimator ``m 2**mean(R) / 0.77351``."""
+        total_r = 0
+        for bitmap in self._bitmaps:
+            r = 0
+            while (bitmap >> r) & 1:
+                r += 1
+            total_r += r
+        mean_r = total_r / self._m
+        return self._m * (2.0 ** mean_r) / _FM_PHI
+
+    # -- merge -----------------------------------------------------------------------
+
+    def merge_inplace(self, other: DistinctCounter) -> "PCSA":
+        if not isinstance(other, PCSA) or other._p != self._p:
+            raise ValueError(f"cannot merge {self!r} with {other!r}")
+        bitmaps = self._bitmaps
+        for i, bitmap in enumerate(other._bitmaps):
+            bitmaps[i] |= bitmap
+        return self
+
+    def copy(self) -> "PCSA":
+        clone = PCSA(self._p)
+        clone._bitmaps = list(self._bitmaps)
+        return clone
+
+    # -- sizes and serialization --------------------------------------------------------
+
+    @property
+    def bitmap_bytes(self) -> int:
+        """Exact packed size of the level bitmaps."""
+        return (self._levels * self._m + 7) // 8
+
+    def windowed_memory_bytes(self, window: int = 8) -> int:
+        """Size of a windowed working representation (the CPC memory model).
+
+        CPC-style implementations keep, per bucket, only a ``window``-bit
+        slice of the level bitmap anchored at a global offset; set bits
+        above the window and unset bits below it are exceptions (a few
+        bytes each). This method picks the offset minimising the exception
+        count and returns ``window`` bits per bucket + 3 bytes per
+        exception — the structural reason CPC's in-memory state is about
+        twice its entropy-coded serialization (paper Table 2).
+        """
+        best_exceptions = None
+        for offset in range(0, max(1, self._levels - window + 1)):
+            exceptions = 0
+            low_mask = (1 << offset) - 1
+            for bitmap in self._bitmaps:
+                exceptions += bin(bitmap >> (offset + window)).count("1")
+                exceptions += bin((~bitmap) & low_mask).count("1")
+            if best_exceptions is None or exceptions < best_exceptions:
+                best_exceptions = exceptions
+        assert best_exceptions is not None
+        return (window * self._m + 7) // 8 + 3 * best_exceptions
+
+    @property
+    def memory_bytes(self) -> int:
+        return OBJECT_OVERHEAD_BYTES + self.bitmap_bytes
+
+    def to_bytes(self) -> bytes:
+        from repro.storage.packed import PackedArray
+
+        buffer = write_header(TAG_PCSA)
+        buffer.append(self._p)
+        packed = PackedArray.from_values(self._levels, self._bitmaps)
+        buffer.extend(packed.to_bytes())
+        return bytes(buffer)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PCSA":
+        from repro.storage.packed import PackedArray
+
+        offset = read_header(data, TAG_PCSA)
+        if len(data) < offset + 1:
+            raise SerializationError("truncated PCSA parameters")
+        sketch = cls(data[offset])
+        payload = data[offset + 1 :]
+        if len(payload) != sketch.bitmap_bytes:
+            raise SerializationError(
+                f"bitmap payload is {len(payload)} bytes, expected {sketch.bitmap_bytes}"
+            )
+        sketch._bitmaps = PackedArray.from_bytes(
+            sketch._levels, sketch._m, payload
+        ).to_list()
+        return sketch

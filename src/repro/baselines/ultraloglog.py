@@ -1,0 +1,49 @@
+"""UltraLogLog and ExtendedHyperLogLog as ExaLogLog special cases.
+
+Sec. 2.5: EHLL is ELL(0, 1) (7-bit registers, MVP 5.19 per Eq. (3); the
+EHLL paper's own estimator achieves 5.43) and ULL is ELL(0, 2) (exactly
+one byte per register, MVP 4.63 — the hash4j baseline of Table 2). Both
+are exposed as thin classes so benchmarks and users can talk about them by
+name, while all machinery (insert, ML estimation, merge, reduction,
+serialization) is inherited from the generalized implementation.
+"""
+
+from __future__ import annotations
+
+from repro.core.exaloglog import ExaLogLog
+from repro.core.martingale import MartingaleExaLogLog
+
+
+class UltraLogLog(ExaLogLog):
+    """UltraLogLog [Ertl 2024]: ELL(0, 2) with 8-bit registers.
+
+    >>> sketch = UltraLogLog(p=10)
+    >>> sketch.params.register_bits
+    8
+    """
+
+    def __init__(self, p: int = 10) -> None:
+        super().__init__(t=0, d=2, p=p)
+
+    @classmethod
+    def from_exaloglog(cls, sketch: ExaLogLog) -> "UltraLogLog":
+        """Adopt an ELL(0, 2) state (e.g. obtained by reduction)."""
+        if (sketch.t, sketch.d) != (0, 2):
+            raise ValueError(f"not an ELL(0, 2) state: {sketch.params}")
+        result = cls(sketch.p)
+        result._registers = list(sketch.registers)
+        return result
+
+
+class MartingaleUltraLogLog(MartingaleExaLogLog):
+    """UltraLogLog with martingale (HIP) estimation."""
+
+    def __init__(self, p: int = 10) -> None:
+        super().__init__(t=0, d=2, p=p)
+
+
+class ExtendedHyperLogLog(ExaLogLog):
+    """ExtendedHyperLogLog [Ohayon 2021]: ELL(0, 1) with 7-bit registers."""
+
+    def __init__(self, p: int = 10) -> None:
+        super().__init__(t=0, d=1, p=p)

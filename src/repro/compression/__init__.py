@@ -1,0 +1,41 @@
+"""Entropy coding of sketch states (paper Sec. 6 / CPC substrate)."""
+
+from repro.compression.codec import (
+    compress_bitmaps,
+    compress_registers,
+    decompress_bitmaps,
+    decompress_registers,
+)
+from repro.compression.entropy import (
+    empirical_entropy_bits,
+    register_entropy_bits,
+    theoretical_compressed_bytes,
+)
+from repro.compression.rangecoder import (
+    PROB_ONE,
+    RangeDecoder,
+    RangeEncoder,
+    quantize_probability,
+)
+from repro.compression.sketch_codec import (
+    compress_sketch,
+    compression_ratio,
+    decompress_sketch,
+)
+
+__all__ = [
+    "compress_sketch",
+    "compression_ratio",
+    "decompress_sketch",
+    "PROB_ONE",
+    "RangeDecoder",
+    "RangeEncoder",
+    "compress_bitmaps",
+    "compress_registers",
+    "decompress_bitmaps",
+    "decompress_registers",
+    "empirical_entropy_bits",
+    "quantize_probability",
+    "register_entropy_bits",
+    "theoretical_compressed_bytes",
+]

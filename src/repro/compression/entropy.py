@@ -1,0 +1,68 @@
+"""Shannon entropy of sketch states (paper Eq. (5), (7) context, Sec. 6).
+
+The "optimally compressed" MVP formulas measure state size by Shannon
+entropy. This module computes that entropy both ways:
+
+* :func:`register_entropy_bits` — the model entropy of a single ExaLogLog
+  register under the Sec. 3.1 PMF at a given true ``n`` (exact for small
+  ``d``, where enumerating reachable states is feasible).
+* :func:`empirical_entropy_bits` — plug-in entropy of an observed register
+  array (what a universal compressor could approach on a long array).
+
+Together with :mod:`repro.compression.codec` these quantify how far the
+range coder lands from the bound — the compression ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.core.params import ExaLogLogParams
+from repro.core.register import enumerate_reachable, register_pmf
+
+
+def register_entropy_bits(n: float, params: ExaLogLogParams) -> float:
+    """Entropy (bits) of one register under the Sec. 3.1 PMF at true ``n``.
+
+    Enumerates reachable states, so only practical for small ``d``
+    (the state count grows like ``2**d``).
+    """
+    if params.d > 16:
+        raise ValueError(
+            f"exact register entropy enumerates 2**d states; d={params.d} is too large"
+        )
+    entropy = 0.0
+    for state in enumerate_reachable(params):
+        probability = register_pmf(state, n, params)
+        if probability > 0.0:
+            entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def empirical_entropy_bits(values: Sequence[int] | Iterable[int]) -> float:
+    """Plug-in (maximum-likelihood) entropy of an observed symbol sequence."""
+    counts = Counter(values)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        fraction = count / total
+        entropy -= fraction * math.log2(fraction)
+    return entropy
+
+
+def theoretical_compressed_bytes(n: float, params: ExaLogLogParams) -> float:
+    """Shannon bound for the whole register array at true ``n`` (bytes)."""
+    return register_entropy_bits(n, params) * params.m / 8.0
+
+
+def bit_probability_table(n: float, m: int, level_probabilities: Sequence[float]) -> list[float]:
+    """P(level bit is still 0) for a Poissonized stream: ``exp(-n rho / m)``.
+
+    Shared by the PCSA/CPC codec: under the Poisson model each level bit of
+    each bucket is set independently with probability ``1 - exp(-n rho/m)``.
+    """
+    return [math.exp(-n * rho / m) for rho in level_probabilities]

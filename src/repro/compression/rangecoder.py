@@ -1,0 +1,113 @@
+"""Binary range coder (arithmetic coding), LZMA-style renormalisation.
+
+The paper's future-work section (Sec. 6) observes that, because the shape
+of the register distribution is known (Sec. 3.1), entropy coding could
+push ExaLogLog's storage towards the compressed MVPs of Figures 6-7; and
+its CPC baseline owes its small serialized size to exactly this kind of
+coding. This module provides the coding substrate: a carry-aware binary
+range coder with 16-bit probabilities.
+
+Probabilities are expressed as ``P(bit == 0)`` scaled to ``[1, 65535]``;
+encoder and decoder must be driven with the identical probability sequence
+(our codecs derive it deterministically from header fields).
+"""
+
+from __future__ import annotations
+
+_TOP = 1 << 24
+_MASK32 = 0xFFFFFFFF
+
+#: Probability scale: probabilities are 16-bit fixed point.
+PROB_BITS = 16
+PROB_ONE = 1 << PROB_BITS
+
+
+def quantize_probability(p_zero: float) -> int:
+    """Clamp a float probability of a zero bit to the coder's fixed point."""
+    scaled = int(p_zero * PROB_ONE)
+    return min(max(scaled, 1), PROB_ONE - 1)
+
+
+class RangeEncoder:
+    """Encodes a sequence of bits against per-bit probabilities."""
+
+    __slots__ = ("_cache", "_cache_size", "_low", "_out", "_range")
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._range = _MASK32
+        self._cache = 0
+        self._cache_size = 1
+        self._out = bytearray()
+
+    def encode_bit(self, prob_zero: int, bit: int) -> None:
+        """Encode one bit; ``prob_zero`` is P(bit==0) in [1, 65535]."""
+        if not 0 < prob_zero < PROB_ONE:
+            raise ValueError(f"prob_zero must be in (0, {PROB_ONE}), got {prob_zero}")
+        bound = (self._range >> PROB_BITS) * prob_zero
+        if bit == 0:
+            self._range = bound
+        else:
+            self._low += bound
+            self._range -= bound
+        while self._range < _TOP:
+            self._range = (self._range << 8) & _MASK32
+            self._shift_low()
+
+    def _shift_low(self) -> None:
+        if self._low < 0xFF000000 or self._low > _MASK32:
+            carry = self._low >> 32
+            self._out.append((self._cache + carry) & 0xFF)
+            for _ in range(self._cache_size - 1):
+                self._out.append((0xFF + carry) & 0xFF)
+            self._cache_size = 0
+            self._cache = (self._low >> 24) & 0xFF
+        self._cache_size += 1
+        self._low = (self._low << 8) & _MASK32
+
+    def finish(self) -> bytes:
+        """Flush and return the encoded byte string."""
+        for _ in range(5):
+            self._shift_low()
+        return bytes(self._out)
+
+
+class RangeDecoder:
+    """Decodes bits produced by :class:`RangeEncoder`."""
+
+    __slots__ = ("_code", "_data", "_position", "_range")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0
+        self._range = _MASK32
+        self._code = 0
+        # The first byte emitted by the encoder is always the initial zero
+        # cache; consume it plus four code bytes.
+        self._next_byte()
+        for _ in range(4):
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+
+    def _next_byte(self) -> int:
+        if self._position < len(self._data):
+            byte = self._data[self._position]
+            self._position += 1
+            return byte
+        return 0  # zero padding past the end, matching the encoder's flush
+
+    def decode_bit(self, prob_zero: int) -> int:
+        """Decode one bit; must mirror the encoder's probability."""
+        if not 0 < prob_zero < PROB_ONE:
+            raise ValueError(f"prob_zero must be in (0, {PROB_ONE}), got {prob_zero}")
+        bound = (self._range >> PROB_BITS) * prob_zero
+        if self._code < bound:
+            bit = 0
+            self._range = bound
+        else:
+            bit = 1
+            self._code -= bound
+            self._range -= bound
+        while self._range < _TOP:
+            self._range = (self._range << 8) & _MASK32
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+        return bit

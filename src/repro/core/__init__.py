@@ -1,0 +1,37 @@
+"""The paper's primary contribution: the ExaLogLog sketch family."""
+
+from repro.core.exaloglog import ExaLogLog
+from repro.core.martingale import MartingaleExaLogLog
+from repro.core.params import (
+    PAPER_CONFIGURATIONS,
+    ExaLogLogParams,
+    ell_1_9,
+    ell_2_16,
+    ell_2_20,
+    ell_2_24,
+    make_params,
+)
+from repro.core.sparse import SparseExaLogLog
+from repro.core.token import (
+    DEFAULT_V,
+    estimate_from_tokens,
+    hash_to_token,
+    token_to_hash,
+)
+
+__all__ = [
+    "DEFAULT_V",
+    "ExaLogLog",
+    "ExaLogLogParams",
+    "MartingaleExaLogLog",
+    "PAPER_CONFIGURATIONS",
+    "SparseExaLogLog",
+    "ell_1_9",
+    "ell_2_16",
+    "ell_2_20",
+    "ell_2_24",
+    "estimate_from_tokens",
+    "hash_to_token",
+    "make_params",
+    "token_to_hash",
+]

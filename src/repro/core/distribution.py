@@ -1,0 +1,159 @@
+"""Update-value distributions (paper Sections 2.2-2.3, Lemma B.1).
+
+ExaLogLog replaces the geometric update-value distribution Eq. (2) of the
+generalized data structure by the *approximated* distribution Eq. (8),
+
+    rho_update(k) = 2 ** -(t + 1 + floor((k-1) / 2**t)),   k >= 1,
+
+whose power-of-two probabilities make update values trivially derivable
+from a 64-bit hash (Eq. (9)) and keep the ML equation small (Sec. 3.2).
+With the 64-bit hash limitation the distribution is truncated to
+``k in [1, (65-p-t) * 2**t]`` via Eq. (10)/(11).
+
+This module implements both PMFs, the exponent function ``phi``, and the
+tail mass ``omega`` of Lemma B.1, in exact rational arithmetic where the
+paper uses integers (values are powers of two, so floats are exact far
+beyond the needed range as well).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.core.params import ExaLogLogParams
+
+
+def geometric_pmf(k: int, base: float) -> float:
+    """The geometric PMF Eq. (2): ``(b - 1) * b**-k`` for ``k >= 1``."""
+    if base <= 1.0:
+        raise ValueError("base must exceed 1")
+    if k < 1:
+        return 0.0
+    return (base - 1.0) * base ** (-k)
+
+
+def approx_pmf_unbounded(k: int, t: int) -> float:
+    """The untruncated approximated PMF Eq. (8)."""
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    if k < 1:
+        return 0.0
+    return 2.0 ** -(t + 1 + (k - 1) // (1 << t))
+
+
+def phi(k: int, params: ExaLogLogParams) -> int:
+    """Eq. (11): ``phi(k) = min(t + 1 + floor((k-1)/2**t), 64 - p)``.
+
+    Defined for ``k >= 0``; ``phi(0) = t`` feeds Lemma B.1's ``omega(0) = 1``.
+    """
+    return min(params.t + 1 + ((k - 1) >> params.t), 64 - params.p)
+
+
+def rho_update(k: int, params: ExaLogLogParams) -> float:
+    """The truncated PMF Eq. (10): ``2**-phi(k)`` on ``[1, k_max]``, else 0."""
+    if k < 1 or k > params.max_update_value:
+        return 0.0
+    return 2.0 ** -phi(k, params)
+
+
+def rho_update_log2(k: int, params: ExaLogLogParams) -> int:
+    """``-log2(rho_update(k))`` as an exact integer (the exponent ``phi``)."""
+    if k < 1 or k > params.max_update_value:
+        raise ValueError(f"update value {k} outside [1, {params.max_update_value}]")
+    return phi(k, params)
+
+
+def omega(u: int, params: ExaLogLogParams) -> float:
+    """Tail mass Eq. (14): ``sum_{k>u} rho_update(k)`` in closed form.
+
+    Lemma B.1:  ``omega(u) = (2**t * (1 - t + phi(u)) - u) / 2**phi(u)``.
+    ``omega(0) == 1`` and ``omega(k_max) == 0``.
+    """
+    if u < 0 or u > params.max_update_value:
+        raise ValueError(f"u={u} outside [0, {params.max_update_value}]")
+    exponent = phi(u, params)
+    return ((1 << params.t) * (1 - params.t + exponent) - u) / (2.0 ** exponent)
+
+
+def omega_scaled(u: int, params: ExaLogLogParams) -> int:
+    """``omega(u) * 2**(64-p)`` as an exact integer (Algorithm 3's alpha')."""
+    exponent = phi(u, params)
+    numerator = (1 << params.t) * (1 - params.t + exponent) - u
+    return numerator << (64 - params.p - exponent)
+
+
+def omega_bruteforce(u: int, params: ExaLogLogParams) -> float:
+    """Reference O(k_max) summation of the tail mass (used by tests)."""
+    return sum(rho_update(k, params) for k in range(u + 1, params.max_update_value + 1))
+
+
+def update_value_from_hash(hash_value: int, params: ExaLogLogParams) -> tuple[int, int]:
+    """Split a 64-bit hash into (register index, update value) per Alg. 2.
+
+    The register index comes from bits ``[t, t+p)``; the update value is
+    ``nlz(h | (2**(p+t) - 1)) * 2**t + (h mod 2**t) + 1`` (Eq. (9)).
+    """
+    t = params.t
+    p = params.p
+    index = (hash_value >> t) & ((1 << p) - 1)
+    masked = hash_value | ((1 << (p + t)) - 1)
+    nlz = 64 - masked.bit_length()
+    k = (nlz << t) + (hash_value & ((1 << t) - 1)) + 1
+    return index, k
+
+
+@lru_cache(maxsize=64)
+def rho_table(params: ExaLogLogParams) -> tuple[float, ...]:
+    """Precomputed ``rho_update`` for ``k = 0 .. k_max`` (index = k)."""
+    return tuple(
+        rho_update(k, params) for k in range(params.max_update_value + 1)
+    )
+
+
+@lru_cache(maxsize=64)
+def omega_table(params: ExaLogLogParams) -> tuple[float, ...]:
+    """Precomputed ``omega`` for ``u = 0 .. k_max`` (index = u)."""
+    return tuple(omega(u, params) for u in range(params.max_update_value + 1))
+
+
+@lru_cache(maxsize=64)
+def phi_table(params: ExaLogLogParams) -> tuple[int, ...]:
+    """Precomputed ``phi`` for ``k = 0 .. k_max`` (index = k)."""
+    return tuple(phi(k, params) for k in range(params.max_update_value + 1))
+
+
+@lru_cache(maxsize=64)
+def omega_scaled_table(params: ExaLogLogParams) -> tuple[int, ...]:
+    """Precomputed integer ``omega(u) * 2**(64-p)`` for ``u = 0 .. k_max``."""
+    return tuple(omega_scaled(u, params) for u in range(params.max_update_value + 1))
+
+
+def chunk_probability(c: int, t: int) -> float:
+    """Total probability of the chunk of ``2**t`` values starting at ``c*2**t + 1``.
+
+    Section 2.2 observes that both Eq. (2) with ``b = 2**(2**-t)`` and
+    Eq. (8) assign total probability ``2**-(c+1)`` to each chunk — the sense
+    in which Eq. (8) approximates the geometric distribution.
+    """
+    if c < 0:
+        raise ValueError("chunk index must be non-negative")
+    return 2.0 ** -(c + 1)
+
+
+def kl_divergence_to_geometric(t: int, k_max: int = 512) -> float:
+    """KL divergence D(approx || geometric) for the untruncated PMFs.
+
+    Quantifies how closely Eq. (8) tracks Eq. (2) with ``b = 2**(2**-t)``
+    (used by the distribution ablation bench). Terms where either PMF has
+    underflowed to zero are dropped (their exact contribution is below
+    double precision anyway).
+    """
+    base = 2.0 ** (2.0 ** -t)
+    divergence = 0.0
+    for k in range(1, k_max + 1):
+        p_approx = approx_pmf_unbounded(k, t)
+        p_geom = geometric_pmf(k, base)
+        if p_approx > 0.0 and p_geom > 0.0:
+            divergence += p_approx * math.log(p_approx / p_geom)
+    return divergence

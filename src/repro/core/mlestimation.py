@@ -1,0 +1,119 @@
+"""Maximum-likelihood estimation for ExaLogLog (paper Sec. 3.2, Alg. 3).
+
+The distribution Eq. (8) makes every update-value probability a power of
+two, so the log-likelihood of the full register state collapses to the
+small form Eq. (15),
+
+    ln L = -(n/m) alpha + sum_{u=t+1}^{64-p} beta_u ln(1 - e^(-n/(m 2**u))),
+
+whose coefficients this module extracts with integer arithmetic
+(Algorithm 3) and whose root the shared Newton solver finds (Algorithm 8).
+The optional first-order bias correction Eq. (4) divides the ML estimate by
+``1 + c/m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+from repro.core.distribution import omega_scaled_table, phi_table
+from repro.core.params import ExaLogLogParams
+from repro.estimation.newton import MLSolution, solve_ml_equation
+
+
+@dataclass(frozen=True)
+class MLCoefficients:
+    """The (alpha, beta) coefficients of the log-likelihood Eq. (15)."""
+
+    alpha: float
+    """Linear coefficient (``alpha' / 2**(64-p)`` of Algorithm 3)."""
+
+    alpha_scaled: int
+    """Exact integer ``alpha * 2**(64-p)``."""
+
+    beta: dict[int, int]
+    """Counts ``beta_u`` keyed by exponent ``u in [t+1, 64-p]``."""
+
+    @property
+    def is_empty(self) -> bool:
+        """True when all registers were in the initial state."""
+        return not self.beta
+
+    @property
+    def is_saturated(self) -> bool:
+        """True when alpha vanished (all registers saturated)."""
+        return self.alpha_scaled == 0
+
+
+def compute_coefficients(
+    registers: Sequence[int], params: ExaLogLogParams
+) -> MLCoefficients:
+    """Algorithm 3: extract (alpha, beta) from the register values.
+
+    The accumulation of ``alpha' = alpha * 2**(64-p)`` uses only integer
+    arithmetic, exactly as the paper prescribes, so no precision is lost
+    even for exa-scale states.
+    """
+    d = params.d
+    p = params.p
+    phis = phi_table(params)
+    omegas_scaled = omega_scaled_table(params)
+    shift = 64 - p
+
+    alpha_scaled = 0
+    beta: dict[int, int] = {}
+    for r in registers:
+        u = r >> d
+        alpha_scaled += omegas_scaled[u]
+        if u >= 1:
+            j = phis[u]
+            beta[j] = beta.get(j, 0) + 1
+            if u >= 2:
+                for k in range(max(1, u - d), u):
+                    j = phis[k]
+                    if (r >> (d - u + k)) & 1:
+                        beta[j] = beta.get(j, 0) + 1
+                    else:
+                        alpha_scaled += 1 << (shift - j)
+    return MLCoefficients(
+        alpha=alpha_scaled / (1 << shift), alpha_scaled=alpha_scaled, beta=beta
+    )
+
+
+@lru_cache(maxsize=128)
+def bias_correction_factor(params: ExaLogLogParams) -> float:
+    """``(1 + c/m)**-1`` with the constant ``c`` of Eq. (4)."""
+    from repro.theory.mvp import bias_correction_constant
+
+    c = bias_correction_constant(params.t, params.d)
+    return 1.0 / (1.0 + c / params.m)
+
+
+def estimate_from_coefficients(
+    coefficients: MLCoefficients,
+    params: ExaLogLogParams,
+    bias_correction: bool = True,
+) -> float:
+    """Solve the ML equation and apply the optional bias correction."""
+    solution = solve_ml_equation(coefficients.alpha, coefficients.beta)
+    estimate = params.m * solution.nu
+    if bias_correction and estimate > 0.0:
+        estimate *= bias_correction_factor(params)
+    return estimate
+
+
+def solve_from_coefficients(
+    coefficients: MLCoefficients, params: ExaLogLogParams
+) -> MLSolution:
+    """Raw solver output (used by tests asserting iteration counts)."""
+    return solve_ml_equation(coefficients.alpha, coefficients.beta)
+
+
+def ml_estimate(
+    registers: Sequence[int], params: ExaLogLogParams, bias_correction: bool = True
+) -> float:
+    """Convenience wrapper: Algorithm 3 followed by Algorithm 8."""
+    coefficients = compute_coefficients(registers, params)
+    return estimate_from_coefficients(coefficients, params, bias_correction)

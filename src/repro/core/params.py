@@ -1,0 +1,176 @@
+"""ExaLogLog parameterisation (paper Sections 2.3-2.5).
+
+An ExaLogLog sketch is described by three integers:
+
+``t``
+    shape of the approximated update-value distribution, Eq. (8); plays the
+    role the geometric base ``b = 2**(2**-t)`` plays in the generalized data
+    structure of [Ertl 2024].
+``d``
+    number of register bits that record the occurrence of update values in
+    the window ``[u - d, u - 1]`` below the register maximum ``u``.
+``p``
+    precision; the sketch has ``m = 2**p`` registers.
+
+Each register takes ``q + d = 6 + t + d`` bits, where ``q = 6 + t`` makes
+``b**(2**q) = 2**64`` so that the operating range reaches the exa-scale
+(Sec. 2.3). The paper's named configurations and the special cases of
+Sec. 2.5 are exposed as constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+#: Precision limits. ``p >= 2`` matches the paper's Algorithm 1/2 premise and
+#: guarantees update values fit 6+t bits; the upper limit keeps ``64-p-t``
+#: positive with room for the update-value range.
+MIN_P = 2
+MAX_P = 26
+
+MAX_T = 3  # the paper dismisses t >= 3 as impractical but we allow t in [0, 3]
+MAX_D_BITS = 64
+
+
+@dataclass(frozen=True)
+class ExaLogLogParams:
+    """Validated (t, d, p) parameter triple with derived quantities."""
+
+    t: int
+    d: int
+    p: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.t <= MAX_T:
+            raise ValueError(f"t must be in [0, {MAX_T}], got {self.t}")
+        if not 0 <= self.d <= MAX_D_BITS:
+            raise ValueError(f"d must be in [0, {MAX_D_BITS}], got {self.d}")
+        if not MIN_P <= self.p <= MAX_P:
+            raise ValueError(f"p must be in [{MIN_P}, {MAX_P}], got {self.p}")
+        if self.p + self.t >= 64:
+            raise ValueError("p + t must be smaller than 64")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of registers, ``2**p``."""
+        return 1 << self.p
+
+    @property
+    def q(self) -> int:
+        """Bits storing the maximum update value: ``6 + t`` (Sec. 2.3)."""
+        return 6 + self.t
+
+    @property
+    def register_bits(self) -> int:
+        """Total register width ``q + d = 6 + t + d`` bits."""
+        return 6 + self.t + self.d
+
+    @property
+    def base(self) -> float:
+        """The geometric base ``b = 2**(2**-t)`` the distribution mimics."""
+        return 2.0 ** (2.0 ** -self.t)
+
+    @property
+    def max_update_value(self) -> int:
+        """Largest possible update value ``(65 - p - t) * 2**t`` (Sec. 2.3)."""
+        return (65 - self.p - self.t) << self.t
+
+    @property
+    def max_register_value(self) -> int:
+        """Largest encodable register value (Table 1)."""
+        return (self.max_update_value << self.d) + (1 << self.d) - 1
+
+    @property
+    def max_nlz(self) -> int:
+        """Largest number of leading zeros Algorithm 2 can observe."""
+        return 64 - self.p - self.t
+
+    @property
+    def min_phi(self) -> int:
+        """Smallest update-value exponent ``phi(1) = t + 1`` (Eq. (11))."""
+        return self.t + 1
+
+    @property
+    def max_phi(self) -> int:
+        """Largest update-value exponent ``64 - p`` (Eq. (11))."""
+        return 64 - self.p
+
+    @property
+    def dense_bytes(self) -> int:
+        """Size of the dense register array in bytes (packed bit array)."""
+        return (self.register_bits * self.m + 7) // 8
+
+    # -- conversions ---------------------------------------------------------
+
+    def with_precision(self, p: int) -> "ExaLogLogParams":
+        """Same (t, d) at a different precision."""
+        return ExaLogLogParams(self.t, self.d, p)
+
+    def reduced(self, d: int | None = None, p: int | None = None) -> "ExaLogLogParams":
+        """Parameters after a reduction (Sec. 4.2); must not grow d or p."""
+        new_d = self.d if d is None else d
+        new_p = self.p if p is None else p
+        if new_d > self.d:
+            raise ValueError(f"cannot increase d from {self.d} to {new_d} by reduction")
+        if new_p > self.p:
+            raise ValueError(f"cannot increase p from {self.p} to {new_p} by reduction")
+        return ExaLogLogParams(self.t, new_d, new_p)
+
+    def __str__(self) -> str:
+        return f"ELL(t={self.t}, d={self.d}, p={self.p})"
+
+
+@lru_cache(maxsize=None)
+def make_params(t: int, d: int, p: int) -> ExaLogLogParams:
+    """Cached constructor (parameter objects are shared freely)."""
+    return ExaLogLogParams(t, d, p)
+
+
+# -- named configurations from the paper --------------------------------------
+
+
+def ell_1_9(p: int) -> ExaLogLogParams:
+    """ELL(1, 9): byte-aligned 16-bit registers, MVP 3.90 (Sec. 2.4)."""
+    return make_params(1, 9, p)
+
+
+def ell_2_16(p: int) -> ExaLogLogParams:
+    """ELL(2, 16): 24-bit registers, martingale optimum, MVP 2.77 (Sec. 2.4)."""
+    return make_params(2, 16, p)
+
+
+def ell_2_20(p: int) -> ExaLogLogParams:
+    """ELL(2, 20): 28-bit registers, ML optimum, MVP 3.67 (Sec. 2.4)."""
+    return make_params(2, 20, p)
+
+
+def ell_2_24(p: int) -> ExaLogLogParams:
+    """ELL(2, 24): 32-bit registers, CAS-friendly, MVP 3.78 (Sec. 2.4)."""
+    return make_params(2, 24, p)
+
+
+def hll_equivalent(p: int) -> ExaLogLogParams:
+    """HyperLogLog as the special case ELL(0, 0) (Sec. 2.5)."""
+    return make_params(0, 0, p)
+
+
+def ehll_equivalent(p: int) -> ExaLogLogParams:
+    """ExtendedHyperLogLog as the special case ELL(0, 1) (Sec. 2.5)."""
+    return make_params(0, 1, p)
+
+
+def ull_equivalent(p: int) -> ExaLogLogParams:
+    """UltraLogLog as the special case ELL(0, 2) (Sec. 2.5)."""
+    return make_params(0, 2, p)
+
+
+def pcsa_equivalent(p: int) -> ExaLogLogParams:
+    """PCSA/CPC-information-equivalent ELL(0, 64) (Sec. 2.5)."""
+    return make_params(0, 64, p)
+
+
+#: The (t, d) classes evaluated in Figure 8 and Table 2.
+PAPER_CONFIGURATIONS: tuple[tuple[int, int], ...] = ((1, 9), (2, 16), (2, 20), (2, 24))

@@ -1,0 +1,85 @@
+"""Lossless sketch reduction (paper Sec. 4.2, Alg. 6).
+
+An ExaLogLog with parameters ``(t, d, p)`` can be reduced to any
+``(t, d', p')`` with ``d' <= d`` and ``p' <= p`` such that the result is
+*identical* to the sketch direct recording with the reduced parameters
+would have produced. Two ingredients:
+
+* ``d``-reduction is a plain right shift of every register by ``d - d'``
+  bits (the occurrence window shrinks from the bottom).
+* ``p``-reduction folds ``2**(p-p')`` registers into one. Because
+  Algorithm 2 takes the NLZ bits *adjacent to and above* the register-index
+  bits, the removed high index bits extend the NLZ field: a register whose
+  update value had saturated the old NLZ range (``u >= a``) must have its
+  maximum raised by ``s = (p - p' - bitlength(j)) * 2**t`` where ``j`` is
+  the old register's high index bits, and the window bits belonging to
+  non-saturated values shifted accordingly.
+
+This is also what makes mixed-parameter merging possible (Sec. 4.1): reduce
+both operands to ``(t, min(d, d'), min(p, p'))`` first.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.params import make_params
+from repro.core.register import merge as merge_register
+
+if TYPE_CHECKING:
+    from repro.core.exaloglog import ExaLogLog
+
+
+def reduce_registers(
+    registers: list[int], t: int, d: int, p: int, new_d: int, new_p: int
+) -> list[int]:
+    """Algorithm 6 on raw register values; returns the reduced array."""
+    if new_d > d:
+        raise ValueError(f"cannot increase d from {d} to {new_d}")
+    if new_p > p:
+        raise ValueError(f"cannot increase p from {p} to {new_p}")
+    if len(registers) != (1 << p):
+        raise ValueError(f"expected {1 << p} registers, got {len(registers)}")
+
+    m_new = 1 << new_p
+    d_shift = d - new_d
+    group = 1 << (p - new_p)
+    # Threshold above which the old NLZ field was saturated (Alg. 6's `a`).
+    a = ((64 - t - p) << t) + 1
+
+    reduced = [0] * m_new
+    for i in range(m_new):
+        merged = 0
+        for j in range(group):
+            r = registers[i + (j << new_p)] >> d_shift
+            u = r >> new_d
+            if u >= a:
+                # At lower precision, the removed index bits extend the NLZ
+                # field; j's leading zeros within p - new_p bits raise u by s.
+                s = ((p - new_p) - j.bit_length()) << t
+                if s > 0:
+                    v = new_d + a - u
+                    if v > 0:
+                        r = ((r >> v) << v) + ((r & ((1 << v) - 1)) >> s)
+                    r += s << new_d
+            merged = merge_register(r, merged, new_d)
+        reduced[i] = merged
+    return reduced
+
+
+def reduce_sketch(
+    sketch: "ExaLogLog", d: int | None = None, p: int | None = None
+) -> "ExaLogLog":
+    """Reduce a sketch to smaller parameters; returns a new plain sketch."""
+    from repro.core.exaloglog import ExaLogLog
+
+    params = sketch.params
+    new_d = params.d if d is None else d
+    new_p = params.p if p is None else p
+    new_params = params.reduced(d=new_d, p=new_p)
+    if new_params == params:
+        return sketch.copy()
+    registers = reduce_registers(
+        list(sketch.registers), params.t, params.d, params.p, new_d, new_p
+    )
+    return ExaLogLog.from_registers(new_params, registers)

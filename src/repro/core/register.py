@@ -1,0 +1,187 @@
+"""Single-register semantics (paper Alg. 2, Alg. 5, Sections 3.1 and 3.3).
+
+A register value ``r`` of an ExaLogLog with parameters ``(t, d, p)`` packs
+
+* the maximum update value ``u = floor(r / 2**d)`` in its upper ``6 + t``
+  bits, and
+* ``d`` indicator bits for update values in the window ``[u - d, u - 1]``
+  in its lower bits: bit position ``d - j`` (0-based) records whether an
+  update with value ``u - j`` has occurred.
+
+One encoding subtlety that follows from Algorithm 2 but is easy to miss in
+the paper's prose: the shifted-in "implicit" bit ``2**d`` means that for
+``1 <= u <= d`` the bit at position ``d - u`` — nominally the indicator of
+the non-existent update value 0 — is *always* set, and all positions below
+it are always clear. The register PMF in Sec. 3.1 is unaffected (the bit is
+deterministic), but reachability checks, merging, and the PMF normalisation
+test all have to respect it. :func:`is_reachable` encodes these rules.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+from repro.core.distribution import omega, omega_scaled, phi, rho_table, rho_update
+from repro.core.params import ExaLogLogParams
+
+
+def decode(r: int, d: int) -> tuple[int, int]:
+    """Split a register into ``(u, window_bits)``."""
+    return r >> d, r & ((1 << d) - 1)
+
+
+def update(r: int, k: int, d: int) -> int:
+    """Algorithm 2's register update: record an update with value ``k``.
+
+    Returns the new register value (identical to ``r`` when the update
+    carries no new information).
+    """
+    u = r >> d
+    delta = k - u
+    if delta > 0:
+        return (k << d) + (((1 << d) + (r & ((1 << d) - 1))) >> delta)
+    if delta < 0 and d + delta >= 0:
+        return r | (1 << (d + delta))
+    return r
+
+
+def merge(r1: int, r2: int, d: int) -> int:
+    """Algorithm 5: merge two registers with identical parameters.
+
+    The result equals the register obtained by inserting the union of the
+    original element streams into an empty sketch.
+    """
+    u1 = r1 >> d
+    u2 = r2 >> d
+    if u1 > u2 and u2 > 0:
+        return r1 | (((1 << d) + (r2 & ((1 << d) - 1))) >> (u1 - u2))
+    if u2 > u1 and u1 > 0:
+        return r2 | (((1 << d) + (r1 & ((1 << d) - 1))) >> (u2 - u1))
+    return r1 | r2
+
+
+def window_values(r: int, params: ExaLogLogParams) -> Iterator[tuple[int, bool]]:
+    """Yield ``(k, occurred)`` for the genuine window values ``k`` of ``r``.
+
+    Genuine means ``k in [max(1, u - d), u - 1]`` — update value 0 and
+    negative positions are excluded (they hold the deterministic bits
+    discussed in the module docstring).
+    """
+    d = params.d
+    u, low = decode(r, d)
+    for k in range(max(1, u - d), u):
+        yield k, bool(low >> (d - u + k) & 1)
+
+
+def is_reachable(r: int, params: ExaLogLogParams) -> bool:
+    """Whether ``r`` is a state Algorithm 2 can actually produce."""
+    d = params.d
+    u, low = decode(r, d)
+    if r == 0:
+        return True
+    if u < 1 or u > params.max_update_value:
+        return False
+    if u <= d:
+        # Deterministic value-0 bit must be set, everything below clear.
+        if not (low >> (d - u)) & 1:
+            return False
+        if low & ((1 << (d - u)) - 1):
+            return False
+    return True
+
+
+def enumerate_reachable(params: ExaLogLogParams) -> Iterator[int]:
+    """All reachable register states (exponential in d; for small tests)."""
+    yield 0
+    d = params.d
+    for u in range(1, params.max_update_value + 1):
+        free_bits = min(d, u - 1)
+        base = u << d
+        if u <= d:
+            base |= 1 << (d - u)
+            shift = d - u + 1
+        else:
+            shift = 0
+        for combo in range(1 << free_bits):
+            yield base | (combo << shift)
+
+
+# -- statistical model --------------------------------------------------------
+
+
+def register_pmf(r: int, n: float, params: ExaLogLogParams) -> float:
+    """Sec. 3.1: probability of register state ``r`` after ``n`` (Poissonized)
+    distinct insertions into an ``m``-register sketch."""
+    if not is_reachable(r, params):
+        return 0.0
+    m = params.m
+    u, _ = decode(r, params.d)
+    if r == 0:
+        return math.exp(-n / m)
+    probability = -math.expm1(-n / m * rho_update(u, params))
+    probability *= math.exp(-n / m * omega(u, params))
+    for k, occurred in window_values(r, params):
+        q = math.exp(-n / m * rho_update(k, params))
+        probability *= (1.0 - q) if occurred else q
+    return probability
+
+
+def state_change_probability(r: int, params: ExaLogLogParams) -> float:
+    """Sec. 3.3: ``h(r)`` — probability the next new element changes ``r``.
+
+    ``h(r) = (omega(u) + sum over unset genuine window bits of rho(k)) / m``.
+    """
+    return alpha_contribution(r, params) / params.m
+
+
+def alpha_contribution(r: int, params: ExaLogLogParams) -> float:
+    """``m * h(r)``: this register's contribution to the ML coefficient alpha.
+
+    The identity ``mu = alpha / m`` (state-change probability equals the
+    likelihood's linear coefficient divided by m) is what lets the
+    simulation harness maintain both incrementally with one quantity.
+    """
+    u, low = decode(r, params.d)
+    rho = rho_table(params)
+    total = omega(u, params)
+    d = params.d
+    for k in range(max(1, u - d), u):
+        if not (low >> (d - u + k)) & 1:
+            total += rho[k]
+    return total
+
+
+def alpha_contribution_scaled(r: int, params: ExaLogLogParams) -> int:
+    """Exact integer ``alpha_contribution * 2**(64-p)`` (Algorithm 3)."""
+    u, low = decode(r, params.d)
+    total = omega_scaled(u, params)
+    d = params.d
+    shift = 64 - params.p
+    for k in range(max(1, u - d), u):
+        if not (low >> (d - u + k)) & 1:
+            total += 1 << (shift - phi(k, params))
+    return total
+
+
+def beta_contribution(r: int, params: ExaLogLogParams) -> list[int]:
+    """Exponents ``j`` for which this register adds 1 to ``beta_j`` (Alg. 3).
+
+    One entry for the maximum ``u`` (if ``u >= 1``) plus one per *set*
+    genuine window bit; entries may repeat (same ``phi`` chunk).
+    """
+    u, low = decode(r, params.d)
+    if u < 1:
+        return []
+    exponents = [phi(u, params)]
+    d = params.d
+    for k in range(max(1, u - d), u):
+        if (low >> (d - u + k)) & 1:
+            exponents.append(phi(k, params))
+    return exponents
+
+
+def saturation_fraction(r: int, params: ExaLogLogParams) -> float:
+    """How close a register is to the end of the operating range, in [0, 1]."""
+    u, _ = decode(r, params.d)
+    return u / params.max_update_value

@@ -1,0 +1,23 @@
+"""Shared statistical estimation machinery (paper Sec. 3 and Appendix A)."""
+
+from repro.estimation.likelihood import (
+    f_transformed,
+    log_likelihood,
+    log_likelihood_derivative,
+)
+from repro.estimation.newton import (
+    MAX_ITERATIONS,
+    MLSolution,
+    solve_ml_equation,
+    solve_ml_equation_bisection,
+)
+
+__all__ = [
+    "MAX_ITERATIONS",
+    "MLSolution",
+    "f_transformed",
+    "log_likelihood",
+    "log_likelihood_derivative",
+    "solve_ml_equation",
+    "solve_ml_equation_bisection",
+]

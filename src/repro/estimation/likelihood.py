@@ -1,0 +1,63 @@
+"""Direct evaluation of the shared log-likelihood shape (paper Eq. (15)).
+
+These helpers exist so tests and ablation benches can verify the Newton
+solver against brute-force evaluation: the solver's root must maximize
+:func:`log_likelihood` and zero :func:`log_likelihood_derivative`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+
+def log_likelihood(nu: float, alpha: float, beta: Mapping[int, int]) -> float:
+    """``ln L(nu) = -nu alpha + sum_u beta_u ln(1 - exp(-nu / 2**u))``."""
+    if nu < 0.0:
+        raise ValueError("nu must be non-negative")
+    if nu == 0.0:
+        return 0.0 if not any(beta.values()) else -math.inf
+    total = -nu * alpha
+    for u, count in beta.items():
+        if count:
+            z = nu * 2.0 ** (-u)
+            total += count * math.log(-math.expm1(-z))
+    return total
+
+
+def log_likelihood_derivative(nu: float, alpha: float, beta: Mapping[int, int]) -> float:
+    """``d/d nu ln L = -alpha + sum_u beta_u 2**-u / (exp(nu 2**-u) - 1)``."""
+    if nu <= 0.0:
+        raise ValueError("nu must be positive")
+    total = -alpha
+    for u, count in beta.items():
+        if count:
+            scale = 2.0 ** (-u)
+            z = nu * scale
+            if z < 700.0:  # beyond this the term underflows to zero
+                total += count * scale / math.expm1(z)
+    return total
+
+
+def f_transformed(x: float, alpha: float, beta: Mapping[int, int]) -> float:
+    """The transformed function ``f(x)`` of Eq. (18) (for Lemma B.2 tests).
+
+    ``f(x) = alpha 2**u_max x - sum_j beta_{u_max - j} 2**j x / ((1+x)**(2**j) - 1)``.
+    """
+    if x < 0.0:
+        raise ValueError("x must be non-negative")
+    active = [u for u, c in beta.items() if c > 0]
+    if not active:
+        return 0.0
+    u_max = max(active)
+    total = alpha * 2.0 ** u_max * x
+    for u, count in beta.items():
+        if not count:
+            continue
+        j = u_max - u
+        if x == 0.0:
+            total -= count  # limit of 2**j x / ((1+x)**(2**j) - 1) as x -> 0
+        elif (2 ** j) * math.log1p(x) < 700.0:
+            total -= count * (2.0 ** j) * x / ((1.0 + x) ** (2 ** j) - 1.0)
+        # else: the denominator overflows and the term vanishes.
+    return total

@@ -1,0 +1,32 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+Run them all with ``python -m repro.experiments``, or individually, e.g.
+``python -m repro.experiments figure8``; the pytest-benchmark targets in
+``benchmarks/`` wrap the same runners.
+"""
+
+from repro.experiments import (  # noqa: F401
+    figure1,
+    figure2,
+    figure3,
+    figure4to7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    table2,
+)
+
+EXPERIMENTS = {
+    "figure1": figure1.main,
+    "figure2": figure2.main,
+    "figure3": figure3.main,
+    "figure4to7": figure4to7.main,
+    "figure8": figure8.main,
+    "figure9": figure9.main,
+    "figure10": figure10.main,
+    "figure11": figure11.main,
+    "table2": table2.main,
+}
+
+__all__ = ["EXPERIMENTS"]

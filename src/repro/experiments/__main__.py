@@ -1,0 +1,23 @@
+"""CLI entry point: ``python -m repro.experiments [name ...]``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,76 @@
+"""Shared experiment infrastructure: scaling knobs and table printing.
+
+Every experiment runner returns structured rows *and* prints the series
+the paper reports, so both the benches (``benchmarks/``) and the CLI
+(``python -m repro.experiments``) reuse them.
+
+Scaling: the paper uses 100 000 simulation runs (1 000 000 for Table 2) on
+a JVM testbed. Pure-Python defaults are smaller and overridable through
+environment variables; EXPERIMENTS.md records the settings used for the
+committed results.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Sequence
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer knob from the environment (e.g. ``REPRO_RUNS_FIGURE8=200``)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"environment variable {name} must be an integer, got {raw!r}")
+
+
+def env_float(name: str, default: float) -> float:
+    """Float knob from the environment."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"environment variable {name} must be a number, got {raw!r}")
+
+
+def format_table(rows: Sequence[dict[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0.0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1e6 or magnitude < 1e-4:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in table))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def print_experiment(title: str, rows: Iterable[dict[str, Any]], columns=None) -> None:
+    """Print an experiment header plus its table."""
+    rows = list(rows)
+    print(f"\n== {title} ==")
+    print(format_table(rows, columns))

@@ -1,0 +1,36 @@
+"""Figure 1: memory over relative standard error for different MVPs.
+
+Pure consequence of Eq. (1): ``memory_bits = MVP / error**2``. The figure
+shows, for MVP in {2, 3, 4, 5, 6, 8}, how many bytes a sketch needs to
+reach a target relative standard error between 1 % and 5 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import print_experiment
+from repro.theory.mvp import memory_for_error
+
+MVPS = (8.0, 6.0, 5.0, 4.0, 3.0, 2.0)
+ERRORS_PERCENT = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0)
+
+
+def run() -> list[dict[str, float]]:
+    """Rows: one per relative error, memory in bytes per MVP curve."""
+    rows = []
+    for error_percent in ERRORS_PERCENT:
+        row: dict[str, float] = {"relative_error_%": error_percent}
+        for mvp in MVPS:
+            bits = memory_for_error(mvp, error_percent / 100.0)
+            row[f"MVP={mvp:g}_bytes"] = bits / 8.0
+        rows.append(row)
+    return rows
+
+
+def main() -> list[dict[str, float]]:
+    rows = run()
+    print_experiment("Figure 1: memory vs relative standard error", rows)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Figure 10: memory footprint and empirical MVP as functions of n.
+
+For ``n in {10, 20, 50, 100, ..., n_max}`` and every algorithm of the
+suite (plus the sparse-mode ExaLogLog of Sec. 4.3), measures the average
+memory footprint and the empirical MVP. Expected shape:
+
+* ELL uses constant space from the start; its MVP curve converges to the
+  theoretical value once n >> m.
+* Variable-size structures (HLL4, HLLL, CPC) grow; sparse modes are
+  smaller at small n — reproduced by our sparse ELL.
+* SpikeSketch's MVP blows up for small n (lossy compression + smoothing;
+  Sec. 5.2 calls this out as disqualifying).
+* HLLL shows the estimator spike around n ~ 5e3 (original HLL estimator).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import env_int, print_experiment
+from repro.experiments.suite import AlgorithmSpec, figure10_suite
+from repro.simulation.events import logspace_checkpoints
+from repro.simulation.memory import empirical_mvp
+from repro.simulation.rng import numpy_generator, random_hashes
+
+SIZE_SAMPLE_RUNS = 5
+
+
+def run(
+    n_max: int | None = None,
+    runs: int | None = None,
+    seed: int = 0xF16E10,
+    suite: list[AlgorithmSpec] | None = None,
+) -> dict[str, list[dict[str, float]]]:
+    n_max = env_int("REPRO_N_FIGURE10", 100_000) if n_max is None else n_max
+    runs = env_int("REPRO_RUNS_FIGURE10", 60) if runs is None else runs
+    suite = figure10_suite() if suite is None else suite
+    checkpoints = [int(c) for c in logspace_checkpoints(10.0, n_max, 3)]
+
+    squared = {spec.name: [0.0] * len(checkpoints) for spec in suite}
+    memory = {spec.name: [0.0] * len(checkpoints) for spec in suite}
+
+    for run_index in range(runs):
+        rng = numpy_generator(seed, run_index)
+        hashes = random_hashes(rng, n_max)
+        for spec in suite:
+            for index, n in enumerate(checkpoints):
+                sketch = spec.from_hashes(hashes[:n])
+                error = sketch.estimate() / n - 1.0
+                squared[spec.name][index] += error * error
+                if run_index < SIZE_SAMPLE_RUNS:
+                    memory[spec.name][index] += sketch.memory_bytes
+
+    size_runs = min(runs, SIZE_SAMPLE_RUNS)
+    results: dict[str, list[dict[str, float]]] = {}
+    for spec in suite:
+        rows = []
+        for index, n in enumerate(checkpoints):
+            rmse = math.sqrt(squared[spec.name][index] / runs)
+            mean_memory = memory[spec.name][index] / size_runs
+            rows.append(
+                {
+                    "n": float(n),
+                    "rmse_%": 100.0 * rmse,
+                    "memory_bytes": mean_memory,
+                    "empirical_mvp": empirical_mvp(rmse, mean_memory),
+                }
+            )
+        results[spec.name] = rows
+    return results
+
+
+def main(
+    n_max: int | None = None, runs: int | None = None
+) -> dict[str, list[dict[str, float]]]:
+    results = run(n_max=n_max, runs=runs)
+    for name, rows in results.items():
+        print_experiment(f"Figure 10: {name}", rows)
+    return results
+
+
+if __name__ == "__main__":
+    main()

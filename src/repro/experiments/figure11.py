@@ -1,0 +1,109 @@
+"""Figure 11: operation timings (insert, estimate, serialize, merge).
+
+The paper benchmarks on an EC2 c5.metal with JMH; this reproduction uses
+``time.perf_counter`` (CLI) or pytest-benchmark (``benchmarks/``) on the
+local interpreter. Absolute numbers are Python-vs-Java and incomparable;
+what the bench reproduces are the paper's *relative* observations:
+
+* ELL insertion is constant time, independent of p, t, d;
+* CPC serialization is more than an order of magnitude slower than the
+  plain-array sketches (the compression step);
+* martingale-tracking sketches estimate in O(1);
+* ELL serialize/merge are plain array copies/loops, among the fastest.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.experiments.common import env_int, print_experiment
+from repro.experiments.suite import AlgorithmSpec, figure11_suite
+from repro.simulation.rng import numpy_generator, random_hashes
+
+OPERATIONS = ("insert", "estimate", "serialize", "merge", "merge_estimate")
+
+
+def make_operation(
+    spec: AlgorithmSpec, operation: str, n: int, seed: int = 0xF16E11
+) -> tuple[Callable[[], Any], float]:
+    """Build a zero-argument callable for one (algorithm, operation, n) cell.
+
+    Returns ``(callable, work_units)`` where work_units is the number of
+    elementary operations per call (n for insert, 1 otherwise) so callers
+    can report per-element times like the paper does.
+    """
+    rng = numpy_generator(seed, n)
+    hashes = random_hashes(rng, n).tolist()
+    if operation == "insert":
+        factory = spec.factory
+
+        def insert() -> Any:
+            sketch = factory()
+            add_hash = sketch.add_hash
+            for h in hashes:
+                add_hash(h)
+            return sketch
+
+        return insert, float(n)
+
+    import numpy as np
+
+    left = spec.from_hashes(np.array(hashes[: n // 2 or 1], dtype=np.uint64))
+    right = spec.from_hashes(np.array(hashes[n // 2 :], dtype=np.uint64))
+
+    if operation == "estimate":
+        return left.estimate, 1.0
+    if operation == "serialize":
+        return left.to_bytes, 1.0
+    if operation == "merge":
+        if not getattr(spec.factory(), "supports_merge", True):
+            raise NotImplementedError(f"{spec.name} does not support merge")
+        return (lambda: left.copy().merge_inplace(right)), 1.0
+    if operation == "merge_estimate":
+        return (lambda: left.copy().merge_inplace(right).estimate()), 1.0
+    raise ValueError(f"unknown operation {operation!r}")
+
+
+def time_operation(func: Callable[[], Any], repetitions: int = 3) -> float:
+    """Best-of-N wall time of one call."""
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(
+    n_values: tuple[int, ...] | None = None,
+    suite: list[AlgorithmSpec] | None = None,
+) -> list[dict[str, object]]:
+    if n_values is None:
+        n_values = (1000, env_int("REPRO_N_FIGURE11", 100_000))
+    suite = figure11_suite() if suite is None else suite
+    rows = []
+    for spec in suite:
+        for n in n_values:
+            row: dict[str, object] = {"algorithm": spec.name, "n": n}
+            for operation in OPERATIONS:
+                try:
+                    func, work = make_operation(spec, operation, n)
+                except NotImplementedError:
+                    row[f"{operation}_s"] = float("nan")
+                    continue
+                row[f"{operation}_s"] = time_operation(func) / work
+            rows.append(row)
+    return rows
+
+
+def main() -> list[dict[str, object]]:
+    rows = run()
+    print_experiment(
+        "Figure 11: per-operation wall times (insert is per element)", rows
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Figure 2: geometric PMF Eq. (2) vs the approximated PMF Eq. (8).
+
+For ``b = 2**(2-t)``, chunks of ``2**t`` consecutive update values carry
+the same total probability under both distributions; the experiment prints
+both PMFs for t = 1 and t = 2 (the panels of Figure 2) and verifies the
+chunk identity numerically.
+"""
+
+from __future__ import annotations
+
+from repro.core.distribution import approx_pmf_unbounded, chunk_probability, geometric_pmf
+from repro.experiments.common import print_experiment
+
+K_MAX = 20
+
+
+def run(t: int) -> list[dict[str, float]]:
+    """PMF table for one panel (one value of t)."""
+    base = 2.0 ** (2.0 ** -t)
+    rows = []
+    for k in range(1, K_MAX + 1):
+        rows.append(
+            {
+                "k": k,
+                "geometric": geometric_pmf(k, base),
+                "approximate": approx_pmf_unbounded(k, t),
+            }
+        )
+    return rows
+
+
+def chunk_check(t: int, chunks: int = 8) -> list[dict[str, float]]:
+    """Verify the Sec. 2.2 chunk identity for both PMFs."""
+    base = 2.0 ** (2.0 ** -t)
+    rows = []
+    for c in range(chunks):
+        k_low = c * (1 << t) + 1
+        k_high = (c + 1) * (1 << t)
+        geometric_sum = sum(geometric_pmf(k, base) for k in range(k_low, k_high + 1))
+        approx_sum = sum(approx_pmf_unbounded(k, t) for k in range(k_low, k_high + 1))
+        rows.append(
+            {
+                "chunk": c,
+                "expected_2^-(c+1)": chunk_probability(c, t),
+                "geometric_sum": geometric_sum,
+                "approximate_sum": approx_sum,
+            }
+        )
+    return rows
+
+
+def main() -> dict[int, list[dict[str, float]]]:
+    results = {}
+    for t in (1, 2):
+        rows = run(t)
+        results[t] = rows
+        print_experiment(f"Figure 2 (t={t}): PMFs, b = 2^(2-t)", rows)
+        print_experiment(f"Figure 2 (t={t}): chunk probability identity", chunk_check(t))
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Figure 8: bias and RMSE of the ML and martingale estimators.
+
+The paper's 16 panels sweep (t, d) in {(1,9), (2,16), (2,20), (2,24)} and
+p in {4, 6, 8, 10}, with 100 000 simulation runs per panel, distinct
+counts up to 1e21 (individual insertions below 1e6, the waiting-time
+strategy beyond — both reproduced in :mod:`repro.simulation`).
+
+Expected shape (verified here): the empirical RMSE matches the theoretical
+``sqrt(MVP/((q+d) m))`` for intermediate n, is smaller for small n, dips
+slightly at the end of the operating range (~2**64), and the bias is
+negligible against the RMSE.
+
+Scaling: runs default to ``REPRO_RUNS_FIGURE8`` (50); checkpoints stop at
+2e19 because beyond ~1e20 every register saturates and the ML estimate is
+rightly infinite (the paper's operating-range statement, Sec. 2.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.params import PAPER_CONFIGURATIONS, make_params
+from repro.experiments.common import env_int, print_experiment
+from repro.simulation.evaluation import ErrorEvaluation, evaluate_estimation_error
+from repro.simulation.events import logspace_checkpoints
+
+P_VALUES = (4, 6, 8, 10)
+N_MAX = 2e19
+
+
+def panel_checkpoints(per_decade: int = 1) -> list[float]:
+    return logspace_checkpoints(1.0, N_MAX, per_decade)
+
+
+def run_panel(
+    t: int,
+    d: int,
+    p: int,
+    runs: int | None = None,
+    seed: int = 0xF16E8,
+    per_decade: int = 1,
+) -> ErrorEvaluation:
+    """One panel of Figure 8."""
+    runs = env_int("REPRO_RUNS_FIGURE8", 50) if runs is None else runs
+    params = make_params(t, d, p)
+    # Exact phase scaled to the sketch size: big enough to cover the region
+    # where the waiting-time approximation is weakest (n up to ~100 m).
+    n_exact = min(1 << 17, 512 * params.m)
+    return evaluate_estimation_error(
+        params,
+        panel_checkpoints(per_decade),
+        runs=runs,
+        seed=seed + (t << 16) + (d << 8) + p,
+        n_exact=n_exact,
+    )
+
+
+def panel_rows(evaluation: ErrorEvaluation) -> list[dict[str, float]]:
+    rows = []
+    for index, n in enumerate(evaluation.ml.checkpoints):
+        rows.append(
+            {
+                "n": n,
+                "ml_bias": evaluation.ml.relative_bias[index],
+                "ml_rmse": evaluation.ml.relative_rmse[index],
+                "ml_theory": evaluation.ml.theoretical_rmse,
+                "mart_bias": evaluation.martingale.relative_bias[index],
+                "mart_rmse": evaluation.martingale.relative_rmse[index],
+                "mart_theory": evaluation.martingale.theoretical_rmse,
+            }
+        )
+    return rows
+
+
+def main(
+    configurations=PAPER_CONFIGURATIONS, p_values=P_VALUES, runs: int | None = None
+) -> dict[tuple[int, int, int], ErrorEvaluation]:
+    results = {}
+    for t, d in configurations:
+        for p in p_values:
+            evaluation = run_panel(t, d, p, runs=runs)
+            results[(t, d, p)] = evaluation
+            title = (
+                f"Figure 8 panel t={t} d={d} p={p} "
+                f"({(6 + t + d) * (1 << p) // 8} bytes, {evaluation.runs} runs, "
+                f"newton_max={evaluation.newton_iterations_max})"
+            )
+            print_experiment(title, panel_rows(evaluation))
+    return results
+
+
+if __name__ == "__main__":
+    main()

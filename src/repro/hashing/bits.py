@@ -1,0 +1,100 @@
+"""Low-level 64-bit integer helpers.
+
+All sketches in this library operate on unsigned 64-bit hash values. Python
+integers are unbounded, so every helper here is explicit about the 64-bit
+domain: values are masked with :data:`MASK64` and behave like the
+corresponding CPU instructions (``lzcnt``, rotations, wrapping arithmetic).
+
+The paper (Table 1) defines ``nlz`` as "the number of leading zeros if the
+argument is interpreted as an unsigned 64-bit value"; :func:`nlz64`
+implements exactly that, including ``nlz64(0) == 64``.
+"""
+
+from __future__ import annotations
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+MASK32 = 0xFFFFFFFF
+
+#: Largest update value exponent that fits the 64-bit hash domain.
+HASH_BITS = 64
+
+
+def nlz64(x: int) -> int:
+    """Number of leading zeros of ``x`` as an unsigned 64-bit integer.
+
+    >>> nlz64(0)
+    64
+    >>> nlz64(1)
+    63
+    >>> nlz64(0b10110)  # paper Table 1 example
+    59
+    >>> nlz64(1 << 63)
+    0
+    """
+    if x < 0 or x > MASK64:
+        raise ValueError(f"expected unsigned 64-bit value, got {x!r}")
+    return 64 - x.bit_length()
+
+
+def ntz64(x: int) -> int:
+    """Number of trailing zeros of ``x`` as an unsigned 64-bit integer.
+
+    ``ntz64(0)`` is 64 by convention (no set bit).
+    """
+    if x < 0 or x > MASK64:
+        raise ValueError(f"expected unsigned 64-bit value, got {x!r}")
+    if x == 0:
+        return 64
+    return (x & -x).bit_length() - 1
+
+
+def rotl64(x: int, r: int) -> int:
+    """Rotate the unsigned 64-bit value ``x`` left by ``r`` bits."""
+    r &= 63
+    return ((x << r) | (x >> (64 - r))) & MASK64
+
+
+def rotr64(x: int, r: int) -> int:
+    """Rotate the unsigned 64-bit value ``x`` right by ``r`` bits."""
+    r &= 63
+    return ((x >> r) | (x << (64 - r))) & MASK64
+
+
+def rotl32(x: int, r: int) -> int:
+    """Rotate the unsigned 32-bit value ``x`` left by ``r`` bits."""
+    r &= 31
+    return ((x << r) | (x >> (32 - r))) & MASK32
+
+
+def mul64(a: int, b: int) -> int:
+    """Wrapping unsigned 64-bit multiplication."""
+    return (a * b) & MASK64
+
+
+def add64(a: int, b: int) -> int:
+    """Wrapping unsigned 64-bit addition."""
+    return (a + b) & MASK64
+
+
+def to_signed64(x: int) -> int:
+    """Reinterpret an unsigned 64-bit value as two's-complement signed."""
+    x &= MASK64
+    return x - (1 << 64) if x >= (1 << 63) else x
+
+
+def to_unsigned64(x: int) -> int:
+    """Reinterpret a (possibly negative) Python int as unsigned 64-bit."""
+    return x & MASK64
+
+
+def bit_slice(x: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``x`` starting at bit ``low`` (LSB = 0)."""
+    if width < 0 or low < 0:
+        raise ValueError("low and width must be non-negative")
+    return (x >> low) & ((1 << width) - 1)
+
+
+def bit_reverse64(x: int) -> int:
+    """Reverse the bit order of an unsigned 64-bit value."""
+    x &= MASK64
+    return int(f"{x:064b}"[::-1], 2)

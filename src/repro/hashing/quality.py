@@ -1,0 +1,116 @@
+"""Statistical quality analysis of 64-bit hash functions.
+
+The paper leans on "extensive empirical tests [SMHasher]" showing modern
+hash outputs behave like uniform random values (Sec. 5.1) — the property
+that justifies simulating insertions with raw random values. This module
+provides a lightweight SMHasher-style battery so the test suite can assert
+the property for our from-scratch implementations:
+
+* avalanche: flipping any input bit flips each output bit with p ~ 0.5;
+* bucket uniformity: chi-square over the low bits (the sketch's register
+  selector);
+* NLZ geometry: the leading-zero count — ExaLogLog's update value source —
+  follows the geometric distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+Hash64 = Callable[[bytes], int]
+
+
+@dataclass(frozen=True)
+class AvalancheReport:
+    """Result of an avalanche test."""
+
+    worst_bias: float
+    """Largest |P(flip) - 0.5| over all (input bit, output bit) pairs."""
+
+    mean_flips: float
+    """Average number of output bits flipped per single-bit input change."""
+
+
+def avalanche_test(
+    hash_function: Hash64, samples: int = 300, input_bytes: int = 8
+) -> AvalancheReport:
+    """Flip every input bit of ``samples`` random-ish inputs."""
+    input_bits = input_bytes * 8
+    flip_counts = [[0] * 64 for _ in range(input_bits)]
+    total_flips = 0
+    trials = 0
+    for sample in range(samples):
+        base = (sample * 0x9E3779B97F4A7C15 + 0x1234567) % (1 << (input_bits - 1))
+        data = base.to_bytes(input_bytes, "little")
+        reference = hash_function(data)
+        for bit in range(input_bits):
+            flipped = (base ^ (1 << bit)).to_bytes(input_bytes, "little")
+            delta = reference ^ hash_function(flipped)
+            total_flips += bin(delta).count("1")
+            trials += 1
+            for out_bit in range(64):
+                if (delta >> out_bit) & 1:
+                    flip_counts[bit][out_bit] += 1
+    worst = 0.0
+    for bit in range(input_bits):
+        for out_bit in range(64):
+            bias = abs(flip_counts[bit][out_bit] / samples - 0.5)
+            worst = max(worst, bias)
+    return AvalancheReport(worst_bias=worst, mean_flips=total_flips / trials)
+
+
+def bucket_chi_square(
+    hash_function: Hash64, buckets_log2: int = 8, samples: int = 50000
+) -> float:
+    """Chi-square statistic of the low ``buckets_log2`` output bits.
+
+    Under uniformity the statistic is ~chi2 with ``2**buckets_log2 - 1``
+    degrees of freedom (mean = dof, sd = sqrt(2 dof)).
+    """
+    buckets = 1 << buckets_log2
+    counts = [0] * buckets
+    for i in range(samples):
+        counts[hash_function(i.to_bytes(8, "little")) & (buckets - 1)] += 1
+    expected = samples / buckets
+    return sum((count - expected) ** 2 / expected for count in counts)
+
+
+def nlz_geometric_deviation(
+    hash_function: Hash64, samples: int = 50000, min_expected: float = 300.0
+) -> float:
+    """Worst relative deviation of the NLZ distribution from geometric.
+
+    Only levels with expected count >= ``min_expected`` are compared (the
+    binomial noise of thinner levels, ~1/sqrt(expected), would dominate
+    any real signal at this sample size).
+    """
+    counts = [0] * 65
+    for i in range(samples):
+        value = hash_function(i.to_bytes(8, "little"))
+        counts[64 - value.bit_length()] += 1
+    worst = 0.0
+    for level in range(0, 64):
+        expected = samples * 2.0 ** -(level + 1)
+        if expected < min_expected:
+            break
+        deviation = abs(counts[level] - expected) / expected
+        worst = max(worst, deviation)
+    return worst
+
+
+def collision_estimate(hash_function: Hash64, samples: int = 200000) -> int:
+    """Number of 64-bit collisions over ``samples`` distinct inputs.
+
+    Expected ~0 for any sane 64-bit hash at this scale (birthday bound
+    ~1e-9); more than zero indicates brokenness.
+    """
+    seen = set()
+    collisions = 0
+    for i in range(samples):
+        digest = hash_function(i.to_bytes(8, "little"))
+        if digest in seen:
+            collisions += 1
+        seen.add(digest)
+    return collisions

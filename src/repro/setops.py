@@ -1,0 +1,66 @@
+"""Set-operation estimators on top of mergeable sketches.
+
+Distinct-count sketches compose: the union count is a merge away, and
+inclusion-exclusion turns union counts into intersection, difference, and
+Jaccard estimates. This is the standard downstream toolkit for the
+HLL-family (used by e.g. the genomics tools the paper cites, which
+estimate sequence similarity from sketch unions), provided here for
+ExaLogLog.
+
+Accuracy note: inclusion-exclusion subtracts estimates, so the *absolute*
+error of an intersection estimate is of the order of the union's absolute
+error; small intersections of large sets are hard for any merge-based
+method. :func:`jaccard_estimate` inherits the same caveat.
+"""
+
+from __future__ import annotations
+
+from repro.core.exaloglog import ExaLogLog
+
+
+def _check_compatible(a: ExaLogLog, b: ExaLogLog) -> None:
+    if not isinstance(a, ExaLogLog) or not isinstance(b, ExaLogLog):
+        raise TypeError("set operations require ExaLogLog sketches")
+    if a.t != b.t:
+        raise ValueError(f"sketches have different t ({a.t} vs {b.t})")
+
+
+def union_estimate(a: ExaLogLog, b: ExaLogLog) -> float:
+    """Estimate ``|A u B|`` by merging (lossless, Sec. 4.1)."""
+    _check_compatible(a, b)
+    return a.merge(b).estimate()
+
+
+def intersection_estimate(a: ExaLogLog, b: ExaLogLog) -> float:
+    """Estimate ``|A n B|`` by inclusion-exclusion (clamped at 0)."""
+    _check_compatible(a, b)
+    return max(0.0, a.estimate() + b.estimate() - union_estimate(a, b))
+
+
+def difference_estimate(a: ExaLogLog, b: ExaLogLog) -> float:
+    """Estimate ``|A \\ B|`` = ``|A u B| - |B|`` (clamped at 0)."""
+    _check_compatible(a, b)
+    return max(0.0, union_estimate(a, b) - b.estimate())
+
+
+def jaccard_estimate(a: ExaLogLog, b: ExaLogLog) -> float:
+    """Estimate the Jaccard similarity ``|A n B| / |A u B|`` in [0, 1]."""
+    _check_compatible(a, b)
+    union = union_estimate(a, b)
+    if union <= 0.0:
+        return 1.0  # both empty: conventionally identical
+    intersection = max(0.0, a.estimate() + b.estimate() - union)
+    return min(1.0, intersection / union)
+
+
+def containment_estimate(a: ExaLogLog, b: ExaLogLog) -> float:
+    """Estimate the containment ``|A n B| / |A|`` in [0, 1].
+
+    Used in genomics (how much of genome A's k-mer set appears in B).
+    """
+    _check_compatible(a, b)
+    size_a = a.estimate()
+    if size_a <= 0.0:
+        return 1.0
+    intersection = intersection_estimate(a, b)
+    return min(1.0, intersection / size_a)

@@ -1,0 +1,35 @@
+"""Simulation methodology of paper Sec. 5.1 (exact + waiting-time phases)."""
+
+from repro.simulation.evaluation import (
+    ErrorEvaluation,
+    ErrorSeries,
+    evaluate_estimation_error,
+)
+from repro.simulation.events import (
+    DEFAULT_EXACT_PHASE,
+    EventSchedule,
+    filter_state_changes,
+    logspace_checkpoints,
+    simulate_event_schedule,
+)
+from repro.simulation.memory import SizeReport, empirical_mvp
+from repro.simulation.replay import ReplayResult, replay
+from repro.simulation.rng import numpy_generator, random_hashes, run_seed
+
+__all__ = [
+    "DEFAULT_EXACT_PHASE",
+    "ErrorEvaluation",
+    "ErrorSeries",
+    "EventSchedule",
+    "ReplayResult",
+    "SizeReport",
+    "empirical_mvp",
+    "evaluate_estimation_error",
+    "filter_state_changes",
+    "logspace_checkpoints",
+    "numpy_generator",
+    "random_hashes",
+    "replay",
+    "run_seed",
+    "simulate_event_schedule",
+]

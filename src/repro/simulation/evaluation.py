@@ -1,0 +1,117 @@
+"""Bias/RMSE evaluation harness (paper Sec. 5.1, Figure 8).
+
+Repeats the simulate -> replay pipeline over many independent runs and
+aggregates, per checkpoint, the relative bias and the relative RMSE of the
+ML and martingale estimators, alongside the theoretical RMSE
+``sqrt(MVP / ((q+d) m))`` the paper's figures overlay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.params import ExaLogLogParams
+from repro.simulation.events import (
+    DEFAULT_EXACT_PHASE,
+    filter_state_changes,
+    simulate_event_schedule,
+)
+from repro.simulation.replay import replay
+from repro.simulation.rng import numpy_generator
+
+
+@dataclass
+class ErrorSeries:
+    """Per-checkpoint error statistics for one estimator."""
+
+    checkpoints: list[float]
+    relative_bias: list[float]
+    relative_rmse: list[float]
+    theoretical_rmse: float
+
+    def rows(self) -> list[dict[str, float]]:
+        return [
+            {
+                "n": n,
+                "bias": bias,
+                "rmse": rmse,
+                "theory": self.theoretical_rmse,
+            }
+            for n, bias, rmse in zip(
+                self.checkpoints, self.relative_bias, self.relative_rmse
+            )
+        ]
+
+
+@dataclass
+class ErrorEvaluation:
+    """Joint result for the ML and martingale estimators."""
+
+    params: ExaLogLogParams
+    runs: int
+    ml: ErrorSeries
+    martingale: ErrorSeries
+    newton_iterations_max: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+def evaluate_estimation_error(
+    params: ExaLogLogParams,
+    checkpoints: list[float],
+    runs: int,
+    seed: int = 0x5EED,
+    n_exact: int = DEFAULT_EXACT_PHASE,
+    bias_correction: bool = True,
+) -> ErrorEvaluation:
+    """Monte-Carlo bias/RMSE of the ML and martingale estimators."""
+    from repro.theory.mvp import theoretical_relative_rmse
+
+    checkpoints = sorted(checkpoints)
+    n_max = checkpoints[-1]
+    count = len(checkpoints)
+    sum_ml = [0.0] * count
+    sum_sq_ml = [0.0] * count
+    sum_mart = [0.0] * count
+    sum_sq_mart = [0.0] * count
+    newton_max = 0
+
+    for run in range(runs):
+        rng = numpy_generator(seed, run)
+        schedule = simulate_event_schedule(params, n_max, rng, n_exact=n_exact)
+        schedule = filter_state_changes(schedule, params)
+        result = replay(schedule, params, checkpoints, bias_correction)
+        newton_max = max(newton_max, result.newton_iterations_max)
+        for index, n in enumerate(checkpoints):
+            ml_error = result.ml_estimates[index] / n - 1.0
+            mart_error = result.martingale_estimates[index] / n - 1.0
+            sum_ml[index] += ml_error
+            sum_sq_ml[index] += ml_error * ml_error
+            sum_mart[index] += mart_error
+            sum_sq_mart[index] += mart_error * mart_error
+
+    def finish(sums: list[float], squares: list[float]) -> tuple[list[float], list[float]]:
+        bias = [s / runs for s in sums]
+        rmse = [math.sqrt(sq / runs) for sq in squares]
+        return bias, rmse
+
+    ml_bias, ml_rmse = finish(sum_ml, sum_sq_ml)
+    mart_bias, mart_rmse = finish(sum_mart, sum_sq_mart)
+    t, d, p = params.t, params.d, params.p
+    return ErrorEvaluation(
+        params=params,
+        runs=runs,
+        ml=ErrorSeries(
+            checkpoints=checkpoints,
+            relative_bias=ml_bias,
+            relative_rmse=ml_rmse,
+            theoretical_rmse=theoretical_relative_rmse(t, d, p, martingale=False),
+        ),
+        martingale=ErrorSeries(
+            checkpoints=checkpoints,
+            relative_bias=mart_bias,
+            relative_rmse=mart_rmse,
+            theoretical_rmse=theoretical_relative_rmse(t, d, p, martingale=True),
+        ),
+        newton_iterations_max=newton_max,
+    )

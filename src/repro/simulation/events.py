@@ -1,0 +1,167 @@
+"""Event-schedule simulation (paper Sec. 5.1, the "fast simulation strategy").
+
+A sketch's state only depends on, for every ``(register, update value)``
+pair, *whether* the pair has occurred — and, for martingale estimation, on
+the distinct count at which it first occurred. The simulation therefore
+produces, per run, the schedule of first-occurrence events:
+
+* **Exact phase** (up to ``n_exact``): draw a true random stream and
+  extract the first occurrence index of every pair that shows up —
+  bit-exact with per-insertion simulation, but vectorised.
+* **Tail phase** (beyond ``n_exact``): for every pair not yet seen, draw an
+  independent geometric waiting time with success probability
+  ``rho_update(k)/m`` (memoryless continuation; the paper's approximation
+  that makes distinct counts up to 1e21 reachable).
+
+The replay module consumes the schedule through the real register-update
+code, so estimator behaviour is exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batch import split_hashes
+from repro.core.distribution import rho_table
+from repro.core.params import ExaLogLogParams
+from repro.simulation.rng import random_hashes
+
+#: Default length of the exact phase (the paper uses 1e6; 2**20 ~ 1.05e6).
+DEFAULT_EXACT_PHASE = 1 << 20
+
+
+@dataclass(frozen=True)
+class EventSchedule:
+    """First-occurrence events of one simulated run, sorted by time."""
+
+    times: np.ndarray
+    """Distinct count at which each event occurs (float64; exact below 2**53)."""
+
+    registers: np.ndarray
+    """Register index per event (int64)."""
+
+    values: np.ndarray
+    """Update value ``k`` per event (int64)."""
+
+    n_exact: int
+    """Length of the exact phase this schedule was built with."""
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def simulate_event_schedule(
+    params: ExaLogLogParams,
+    n_max: float,
+    rng: np.random.Generator,
+    n_exact: int = DEFAULT_EXACT_PHASE,
+) -> EventSchedule:
+    """Build the first-occurrence event schedule of one run up to ``n_max``."""
+    m = params.m
+    k_max = params.max_update_value
+    n_exact = int(min(n_exact, n_max))
+
+    times_parts = []
+    registers_parts = []
+    values_parts = []
+
+    seen = np.zeros((m, k_max + 1), dtype=bool)
+    if n_exact > 0:
+        hashes = random_hashes(rng, n_exact)
+        index, k = split_hashes(hashes, params)
+        keys = index * np.int64(k_max + 1) + k
+        unique_keys, first_positions = np.unique(keys, return_index=True)
+        times_parts.append(first_positions.astype(np.float64) + 1.0)
+        registers_parts.append(unique_keys // (k_max + 1))
+        values_parts.append(unique_keys % (k_max + 1))
+        seen.flat[unique_keys] = True
+
+    if n_max > n_exact:
+        rhos = np.array(rho_table(params))  # index = k, rho[0] == 0
+        unseen_register, unseen_value = np.nonzero(~seen)
+        mask = unseen_value >= 1
+        unseen_register = unseen_register[mask]
+        unseen_value = unseen_value[mask]
+        probabilities = rhos[unseen_value] / m
+        uniforms = rng.random(len(probabilities))
+        # Geometric waiting time: ceil(log(U) / log(1 - p)) >= 1.
+        waits = np.ceil(np.log(uniforms) / np.log1p(-probabilities))
+        tail_times = n_exact + waits
+        within = tail_times <= n_max
+        times_parts.append(tail_times[within])
+        registers_parts.append(unseen_register[within])
+        values_parts.append(unseen_value[within])
+
+    times = np.concatenate(times_parts) if times_parts else np.empty(0)
+    registers = np.concatenate(registers_parts) if registers_parts else np.empty(0, np.int64)
+    values = np.concatenate(values_parts) if values_parts else np.empty(0, np.int64)
+
+    order = np.argsort(times, kind="stable")
+    return EventSchedule(
+        times=times[order],
+        registers=registers[order].astype(np.int64),
+        values=values[order].astype(np.int64),
+        n_exact=n_exact,
+    )
+
+
+def filter_state_changes(schedule: EventSchedule, params: ExaLogLogParams) -> EventSchedule:
+    """Keep only events that change the sketch state.
+
+    An event ``(i, k)`` is a first occurrence, so it changes the state iff
+    ``k >= (current maximum of register i) - d`` at its time; events below
+    the window are information the register has already forgotten. The
+    per-register running maximum is computed vectorised; the surviving
+    events (a small fraction at large ``n``) are what the replay loop
+    actually has to process.
+    """
+    if len(schedule) == 0:
+        return schedule
+    k_span = np.int64(params.max_update_value + 2)
+    # Sort by (register, time); schedule is already time-sorted, so a
+    # stable sort on register preserves time order within registers.
+    by_register = np.argsort(schedule.registers, kind="stable")
+    regs = schedule.registers[by_register]
+    ks = schedule.values[by_register]
+
+    # Segmented running maximum via offsetting each register's values into
+    # its own disjoint band (register indices are ascending).
+    banded = regs * k_span + ks
+    running = np.maximum.accumulate(banded)
+    previous = np.empty_like(running)
+    previous[0] = -1
+    previous[1:] = running[:-1]
+    # Previous maximum within the same register band (0 if first event).
+    same_register = np.empty(len(regs), dtype=bool)
+    same_register[0] = False
+    same_register[1:] = regs[1:] == regs[:-1]
+    prev_max = np.where(same_register, previous - regs * k_span, 0)
+
+    changes = ks >= prev_max - params.d
+    keep_positions = by_register[changes]
+    keep_positions.sort()  # restore global time order
+    return EventSchedule(
+        times=schedule.times[keep_positions],
+        registers=schedule.registers[keep_positions],
+        values=schedule.values[keep_positions],
+        n_exact=schedule.n_exact,
+    )
+
+
+def logspace_checkpoints(n_min: float, n_max: float, per_decade: int = 3) -> list[float]:
+    """Log-spaced distinct-count checkpoints (1-2-5 style per decade)."""
+    steps = {1: [1.0], 2: [1.0, 3.0], 3: [1.0, 2.0, 5.0]}.get(per_decade)
+    if steps is None:
+        grid = np.logspace(np.log10(n_min), np.log10(n_max), per_decade * 20)
+        return [float(x) for x in grid]
+    checkpoints = []
+    decade = 10.0 ** np.floor(np.log10(max(n_min, 1.0)))
+    while decade <= n_max:
+        for step in steps:
+            value = step * decade
+            if n_min <= value <= n_max:
+                checkpoints.append(float(value))
+        decade *= 10.0
+    return checkpoints

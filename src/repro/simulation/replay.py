@@ -1,0 +1,170 @@
+"""Replay of event schedules with incremental estimator maintenance.
+
+Processing every insertion of an exa-scale stream is impossible; replaying
+only *state-changing first-occurrence events* (see
+:mod:`repro.simulation.events`) is exact and cheap. During replay this
+module maintains, incrementally and exactly:
+
+* the register array (through the real Algorithm 2 transition),
+* the ML coefficient ``alpha' = alpha * 2**(64-p)`` as an *integer* — no
+  floating-point cancellation even when alpha shrinks to ~2**-50 near the
+  end of the operating range — and the ``beta`` counts (Algorithm 3's
+  outputs, kept in sync with O(1)-ish per-event work),
+* the martingale estimator of Algorithm 4, using the identity
+  ``mu = alpha / m`` (Sec. 3.3's h(r) is exactly a register's alpha
+  contribution divided by m).
+
+At each checkpoint the ML estimate (Algorithm 8) and the martingale
+estimate are recorded. Tests assert that the incrementally maintained
+coefficients equal Algorithm 3 run from scratch on the replayed registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.distribution import omega_scaled_table, phi_table
+from repro.core.mlestimation import bias_correction_factor
+from repro.core.params import ExaLogLogParams
+from repro.estimation.newton import solve_ml_equation
+from repro.simulation.events import EventSchedule
+
+
+@dataclass
+class ReplayResult:
+    """Per-checkpoint estimates of one replayed run."""
+
+    checkpoints: list[float]
+    ml_estimates: list[float]
+    martingale_estimates: list[float]
+    registers: list[int]
+    alpha_scaled: int
+    beta: list[int]
+    newton_iterations_max: int
+
+    def final_state(self) -> list[int]:
+        return list(self.registers)
+
+
+def _ml_estimate(
+    alpha_scaled: int,
+    beta: list[int],
+    params: ExaLogLogParams,
+    bias_factor: float,
+) -> tuple[float, int]:
+    beta_map = {u: count for u, count in enumerate(beta) if count}
+    solution = solve_ml_equation(alpha_scaled / (1 << (64 - params.p)), beta_map)
+    estimate = params.m * solution.nu
+    if estimate > 0.0:
+        estimate *= bias_factor
+    return estimate, solution.iterations
+
+
+def replay(
+    schedule: EventSchedule,
+    params: ExaLogLogParams,
+    checkpoints: Sequence[float],
+    bias_correction: bool = True,
+) -> ReplayResult:
+    """Replay a (state-change-filtered) schedule, sampling at checkpoints."""
+    d = params.d
+    m = params.m
+    shift = 64 - params.p
+    phis = phi_table(params)
+    omegas = omega_scaled_table(params)
+    rhos_scaled = [0] + [
+        1 << (shift - phis[k]) for k in range(1, params.max_update_value + 1)
+    ]
+    bias_factor = bias_correction_factor(params) if bias_correction else 1.0
+
+    registers = [0] * m
+    alpha_scaled = m << shift  # every register starts with omega(0) = 1
+    beta = [0] * 66
+    martingale = 0.0
+    alpha_norm = float(m << shift)  # mu = alpha_scaled / alpha_norm
+
+    checkpoints = sorted(float(c) for c in checkpoints)
+    ml_estimates: list[float] = []
+    martingale_estimates: list[float] = []
+    newton_max = 0
+    checkpoint_index = 0
+    n_checkpoints = len(checkpoints)
+
+    times = schedule.times.tolist()
+    event_registers = schedule.registers.tolist()
+    event_values = schedule.values.tolist()
+
+    for position in range(len(times)):
+        time = times[position]
+        while checkpoint_index < n_checkpoints and checkpoints[checkpoint_index] < time:
+            estimate, iterations = _ml_estimate(alpha_scaled, beta, params, bias_factor)
+            newton_max = max(newton_max, iterations)
+            ml_estimates.append(estimate)
+            martingale_estimates.append(martingale)
+            checkpoint_index += 1
+
+        i = event_registers[position]
+        k = event_values[position]
+        r = registers[i]
+        u = r >> d
+
+        if k < u:
+            position_bit = d - u + k
+            if position_bit < 0 or (r >> position_bit) & 1:
+                continue  # forgotten or already-set value: no state change
+            # Martingale increments before the state change (Algorithm 4).
+            if alpha_scaled > 0:
+                martingale += alpha_norm / alpha_scaled
+            registers[i] = r | (1 << position_bit)
+            alpha_scaled -= rhos_scaled[k]
+            beta[phis[k]] += 1
+        elif k > u:
+            if alpha_scaled > 0:
+                martingale += alpha_norm / alpha_scaled
+            delta_alpha = omegas[k] - omegas[u]
+            # Values in the new window that have never occurred.
+            a = max(k - d, u + 1)
+            b = k - 1
+            if a <= b:
+                delta_alpha += omegas[a - 1] - omegas[b]
+            beta[phis[k]] += 1
+            if u >= 1:
+                if u < k - d:
+                    beta[phis[u]] -= 1  # the old maximum drops out
+                # Old window values that drop out of the new window.
+                lo = max(1, u - d)
+                hi = min(u - 1, k - d - 1)
+                if lo <= hi:
+                    range_sum = omegas[lo - 1] - omegas[hi]
+                    set_sum = 0
+                    width = hi - lo + 1
+                    bits = (r >> (d - u + lo)) & ((1 << width) - 1)
+                    while bits:
+                        lsb = bits & -bits
+                        v = lo + lsb.bit_length() - 1
+                        beta[phis[v]] -= 1
+                        set_sum += rhos_scaled[v]
+                        bits ^= lsb
+                    # Dropped never-occurred values stop contributing alpha.
+                    delta_alpha -= range_sum - set_sum
+            registers[i] = (k << d) + (((1 << d) + (r & ((1 << d) - 1))) >> (k - u))
+            alpha_scaled += delta_alpha
+        # k == u cannot occur (events are first occurrences).
+
+    while checkpoint_index < n_checkpoints:
+        estimate, iterations = _ml_estimate(alpha_scaled, beta, params, bias_factor)
+        newton_max = max(newton_max, iterations)
+        ml_estimates.append(estimate)
+        martingale_estimates.append(martingale)
+        checkpoint_index += 1
+
+    return ReplayResult(
+        checkpoints=list(checkpoints),
+        ml_estimates=ml_estimates,
+        martingale_estimates=martingale_estimates,
+        registers=registers,
+        alpha_scaled=alpha_scaled,
+        beta=beta,
+        newton_iterations_max=newton_max,
+    )

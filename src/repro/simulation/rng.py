@@ -1,0 +1,31 @@
+"""Seeded randomness for simulations.
+
+Every experiment derives independent per-run generators from a master seed
+via SplitMix64, so results are reproducible run by run and experiments can
+be parallelised or resumed deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.splitmix64 import splitmix64_at
+
+
+def run_seed(master_seed: int, run_index: int) -> int:
+    """Deterministic 64-bit seed for run ``run_index`` of an experiment."""
+    return splitmix64_at(master_seed, run_index)
+
+
+def numpy_generator(master_seed: int, run_index: int) -> np.random.Generator:
+    """Independent NumPy generator for one simulation run."""
+    return np.random.Generator(np.random.PCG64(run_seed(master_seed, run_index)))
+
+
+def random_hashes(generator: np.random.Generator, count: int) -> np.ndarray:
+    """``count`` i.i.d. uniform 64-bit values used directly as hash values.
+
+    Sec. 5.1: "insertion of a new element can be simulated by simply
+    generating a 64-bit random value to be used directly as the hash value".
+    """
+    return generator.integers(0, 1 << 64, size=count, dtype=np.uint64)

@@ -1,0 +1,30 @@
+"""Bit-level storage substrate: packed register arrays, bit I/O, headers."""
+
+from repro.storage.bitio import BitReader, BitWriter
+from repro.storage.packed import PackedArray
+from repro.storage.serialization import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    MAGIC,
+    SerializationError,
+    read_header,
+    read_uvarint,
+    uvarint_size,
+    write_header,
+    write_uvarint,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "FORMAT_VERSION",
+    "HEADER_SIZE",
+    "MAGIC",
+    "PackedArray",
+    "SerializationError",
+    "read_header",
+    "read_uvarint",
+    "uvarint_size",
+    "write_header",
+    "write_uvarint",
+]

@@ -1,0 +1,106 @@
+"""MSB-first bit-level reader and writer.
+
+Used by :mod:`repro.storage.packed` for odd register widths and by the
+compression codecs (:mod:`repro.compression`). MSB-first ordering matches
+the way the paper lays registers out in a dense bit array.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a growing byte buffer."""
+
+    __slots__ = ("_buffer", "_current", "_filled")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._filled = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self.write_bits(bit & 1, 1)
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append the low ``width`` bits of ``value``, MSB first."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or (width < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._current = (self._current << width) | value
+        self._filled += width
+        while self._filled >= 8:
+            self._filled -= 8
+            self._buffer.append((self._current >> self._filled) & 0xFF)
+        self._current &= (1 << self._filled) - 1
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` zero bits followed by a one bit."""
+        if value < 0:
+            raise ValueError("unary value must be non-negative")
+        self.write_bits(1, value + 1)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._buffer) * 8 + self._filled
+
+    def getvalue(self) -> bytes:
+        """Return the written bits padded with zero bits to a whole byte."""
+        out = bytes(self._buffer)
+        if self._filled:
+            out += bytes([(self._current << (8 - self._filled)) & 0xFF])
+        return out
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte buffer."""
+
+    __slots__ = ("_data", "_position")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read_bits(1)
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer, MSB first."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        end = self._position + width
+        if end > len(self._data) * 8:
+            raise EOFError("attempt to read past end of bit stream")
+        value = 0
+        position = self._position
+        remaining = width
+        while remaining > 0:
+            byte_index, bit_index = divmod(position, 8)
+            available = 8 - bit_index
+            take = min(available, remaining)
+            chunk = (self._data[byte_index] >> (available - take)) & ((1 << take) - 1)
+            value = (value << take) | chunk
+            position += take
+            remaining -= take
+        self._position = end
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary-coded value (count of zero bits before a one)."""
+        count = 0
+        while self.read_bit() == 0:
+            count += 1
+        return count
+
+    @property
+    def bits_consumed(self) -> int:
+        """Number of bits read so far."""
+        return self._position
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of bits still available."""
+        return len(self._data) * 8 - self._position

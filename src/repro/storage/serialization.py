@@ -1,0 +1,101 @@
+"""Shared serialization primitives: versioned headers and varints.
+
+Every sketch in the library serializes as::
+
+    magic (2 bytes) | format version (1) | sketch tag (1) | payload
+
+so that ``from_bytes`` can fail loudly on foreign data, and so the exact
+serialized sizes reported by the Table 2 / Figure 10 benches are honest
+byte counts of a real, round-trippable format (header included, which is
+why e.g. ULL(p=10) serializes to 1024 + 8 bytes here; the memory model in
+:mod:`repro.simulation.memory` accounts headers separately when comparing
+against the paper's payload-only numbers).
+"""
+
+from __future__ import annotations
+
+MAGIC = b"\xe1\x1c"  # "ELL-count" magic
+FORMAT_VERSION = 1
+
+#: Registry of sketch tags (one byte each).
+TAG_EXALOGLOG = 0x01
+TAG_EXALOGLOG_MARTINGALE = 0x02
+TAG_SPARSE_EXALOGLOG = 0x03
+TAG_HYPERLOGLOG = 0x10
+TAG_HLL_COMPACT4 = 0x11
+TAG_ULTRALOGLOG = 0x12
+TAG_EXTENDEDHLL = 0x13
+TAG_PCSA = 0x20
+TAG_CPC = 0x21
+TAG_HLLL = 0x22
+TAG_SPIKESKETCH = 0x23
+
+
+class SerializationError(ValueError):
+    """Raised when deserializing malformed or foreign data."""
+
+
+def write_header(tag: int) -> bytearray:
+    """Return a buffer pre-filled with the common header."""
+    buffer = bytearray(MAGIC)
+    buffer.append(FORMAT_VERSION)
+    buffer.append(tag)
+    return buffer
+
+
+def read_header(data: bytes, expected_tag: int) -> int:
+    """Validate the common header, returning the payload offset."""
+    if len(data) < 4:
+        raise SerializationError("buffer too short to contain a sketch header")
+    if data[:2] != MAGIC:
+        raise SerializationError("bad magic: not a repro sketch")
+    if data[2] != FORMAT_VERSION:
+        raise SerializationError(f"unsupported format version {data[2]}")
+    if data[3] != expected_tag:
+        raise SerializationError(f"sketch tag mismatch: expected {expected_tag:#x}, got {data[3]:#x}")
+    return 4
+
+
+HEADER_SIZE = 4
+
+
+def write_uvarint(buffer: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError("uvarint value must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buffer.append(byte | 0x80)
+        else:
+            buffer.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, offset: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint, returning ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise SerializationError("varint too long")
+
+
+def uvarint_size(value: int) -> int:
+    """Number of bytes :func:`write_uvarint` uses for ``value``."""
+    if value < 0:
+        raise ValueError("uvarint value must be non-negative")
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size

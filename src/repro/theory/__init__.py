@@ -1,0 +1,43 @@
+"""Theoretical predictions: MVP formulas, zeta/integral substrates."""
+
+from repro.theory.fisher import compressed_integral, compressed_integrand
+from repro.theory.mvp import (
+    CONJECTURED_LOWER_BOUND,
+    MARTINGALE_COMPRESSED_LIMIT,
+    base_from_t,
+    bias_correction_constant,
+    memory_for_error,
+    mvp_ehll,
+    mvp_hll,
+    mvp_martingale_compressed,
+    mvp_martingale_dense,
+    mvp_ml_compressed,
+    mvp_ml_dense,
+    mvp_ull,
+    optimal_d,
+    savings_vs_hll,
+    theoretical_relative_rmse,
+)
+from repro.theory.zeta import hurwitz_zeta, hurwitz_zeta_reference
+
+__all__ = [
+    "CONJECTURED_LOWER_BOUND",
+    "MARTINGALE_COMPRESSED_LIMIT",
+    "base_from_t",
+    "bias_correction_constant",
+    "compressed_integral",
+    "compressed_integrand",
+    "hurwitz_zeta",
+    "hurwitz_zeta_reference",
+    "memory_for_error",
+    "mvp_ehll",
+    "mvp_hll",
+    "mvp_martingale_compressed",
+    "mvp_martingale_dense",
+    "mvp_ml_compressed",
+    "mvp_ml_dense",
+    "mvp_ull",
+    "optimal_d",
+    "savings_vs_hll",
+    "theoretical_relative_rmse",
+]

@@ -1,0 +1,135 @@
+"""Sliding-window distinct counting.
+
+The paper's application list (Sec. 1) includes sliding-HyperLogLog-based
+port-scan detection; this module provides the standard bucketed-window
+construction on ExaLogLog: time is divided into fixed-width buckets, each
+bucket owns a small sketch, and a query merges the sketches of the buckets
+overlapping the window. Expired buckets are dropped, so memory is bounded
+by ``buckets_in_window + 1`` sketches.
+
+The window is *bucket-aligned*: a query covers between ``window`` and
+``window + bucket_width`` of history (the usual trade-off of the bucketed
+approach; exact sliding windows need timestamped registers and lose
+ExaLogLog's fixed-size state).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.core.exaloglog import ExaLogLog
+from repro.hashing import hash64
+
+
+class SlidingWindowDistinctCounter:
+    """Approximate distinct count over the trailing ``window`` time units.
+
+    >>> counter = SlidingWindowDistinctCounter(window=60.0, buckets=6, p=8)
+    >>> counter.add("alice", at=0.0)
+    >>> counter.add("bob", at=30.0)
+    >>> round(counter.estimate(now=30.0))
+    2
+    """
+
+    __slots__ = ("_bucket_width", "_buckets", "_d", "_p", "_seed", "_sketches", "_t")
+
+    def __init__(
+        self,
+        window: float,
+        buckets: int = 8,
+        t: int = 2,
+        d: int = 20,
+        p: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if window <= 0.0:
+            raise ValueError("window must be positive")
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        self._bucket_width = window / buckets
+        self._buckets = buckets
+        self._t = t
+        self._d = d
+        self._p = p
+        self._seed = seed
+        #: bucket index -> sketch, oldest first.
+        self._sketches: OrderedDict[int, ExaLogLog] = OrderedDict()
+
+    @property
+    def window(self) -> float:
+        """The configured window length."""
+        return self._bucket_width * self._buckets
+
+    @property
+    def bucket_width(self) -> float:
+        return self._bucket_width
+
+    @property
+    def active_buckets(self) -> int:
+        """Number of bucket sketches currently held."""
+        return len(self._sketches)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modelled footprint of all bucket sketches."""
+        return sum(sketch.memory_bytes for sketch in self._sketches.values())
+
+    def _bucket_of(self, at: float) -> int:
+        return int(at // self._bucket_width)
+
+    def _evict_before(self, bucket: int) -> None:
+        cutoff = bucket - self._buckets
+        while self._sketches:
+            oldest = next(iter(self._sketches))
+            if oldest > cutoff:
+                break
+            del self._sketches[oldest]
+
+    # -- updates -----------------------------------------------------------------
+
+    def add(self, item: Any, at: float) -> None:
+        """Record ``item`` observed at time ``at`` (monotone or not)."""
+        self.add_hash(hash64(item, self._seed), at)
+
+    def add_hash(self, hash_value: int, at: float) -> None:
+        bucket = self._bucket_of(at)
+        sketch = self._sketches.get(bucket)
+        if sketch is None:
+            sketch = ExaLogLog(self._t, self._d, self._p)
+            self._sketches[bucket] = sketch
+            # Keep insertion order sorted by bucket index for eviction.
+            self._sketches = OrderedDict(sorted(self._sketches.items()))
+            self._evict_before(max(self._sketches))
+        sketch.add_hash(hash_value)
+
+    # -- queries --------------------------------------------------------------------
+
+    def estimate(self, now: float) -> float:
+        """Distinct count of the buckets overlapping ``(now - window, now]``."""
+        current = self._bucket_of(now)
+        lowest = current - self._buckets + 1
+        merged: ExaLogLog | None = None
+        for bucket, sketch in self._sketches.items():
+            if lowest <= bucket <= current:
+                if merged is None:
+                    merged = sketch.copy()
+                else:
+                    merged.merge_inplace(sketch)
+        return merged.estimate() if merged is not None else 0.0
+
+    def estimate_per_bucket(self, now: float) -> list[tuple[int, float]]:
+        """(bucket index, estimate) for each live bucket in the window."""
+        current = self._bucket_of(now)
+        lowest = current - self._buckets + 1
+        return [
+            (bucket, sketch.estimate())
+            for bucket, sketch in self._sketches.items()
+            if lowest <= bucket <= current
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindowDistinctCounter(window={self.window}, "
+            f"buckets={self._buckets}, active={self.active_buckets})"
+        )

@@ -1,0 +1,22 @@
+"""Synthetic workload generators (database, network, genomics scenarios)."""
+
+from repro.workloads.kmers import canonical_kmers, kmers, random_genome, sequencing_reads
+from repro.workloads.streams import (
+    FlowRecord,
+    flow_stream,
+    shard_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+__all__ = [
+    "FlowRecord",
+    "canonical_kmers",
+    "flow_stream",
+    "kmers",
+    "random_genome",
+    "sequencing_reads",
+    "shard_stream",
+    "uniform_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,64 @@
+"""Synthetic genomics workload: k-mer streams (paper Sec. 1 applications).
+
+Metagenomics tools (Dashing, KrakenUniq) use HyperLogLog to count distinct
+k-mers in sequencing reads. This module generates synthetic genomes and
+read sets so the examples can demonstrate the same pipeline with ExaLogLog
+— at 43 % less memory for the same accuracy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.simulation.rng import numpy_generator
+
+_ALPHABET = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+
+def random_genome(length: int, seed: int = 0) -> bytes:
+    """A uniform random DNA sequence of ``length`` bases."""
+    rng = numpy_generator(seed, 10)
+    return _ALPHABET[rng.integers(0, 4, size=length)].tobytes()
+
+
+def sequencing_reads(
+    genome: bytes,
+    read_length: int = 100,
+    coverage: float = 5.0,
+    error_rate: float = 0.0,
+    seed: int = 0,
+) -> Iterator[bytes]:
+    """Random reads sampled from a genome with optional substitution errors.
+
+    ``coverage`` is the average number of times each base is covered.
+    """
+    if read_length > len(genome):
+        raise ValueError("read length exceeds genome length")
+    rng = numpy_generator(seed, 11)
+    n_reads = int(len(genome) * coverage / read_length)
+    for _ in range(n_reads):
+        start = int(rng.integers(0, len(genome) - read_length + 1))
+        read = bytearray(genome[start : start + read_length])
+        if error_rate > 0.0:
+            errors = rng.random(read_length) < error_rate
+            for position in np.nonzero(errors)[0]:
+                read[position] = int(_ALPHABET[rng.integers(0, 4)])
+        yield bytes(read)
+
+
+def kmers(sequence: bytes, k: int = 21) -> Iterator[bytes]:
+    """All overlapping k-mers of a sequence."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    for start in range(len(sequence) - k + 1):
+        yield sequence[start : start + k]
+
+
+def canonical_kmers(sequence: bytes, k: int = 21) -> Iterator[bytes]:
+    """K-mers folded with their reverse complements (standard in genomics)."""
+    complement = bytes.maketrans(b"ACGT", b"TGCA")
+    for kmer in kmers(sequence, k):
+        reverse = kmer.translate(complement)[::-1]
+        yield kmer if kmer <= reverse else reverse

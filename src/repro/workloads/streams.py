@@ -1,0 +1,116 @@
+"""Synthetic stream generators for examples and benches.
+
+The paper's motivating applications (Sec. 1) are database distinct-count
+queries, network monitoring, and metagenomics. These generators produce
+realistic stand-ins: duplicate-heavy Zipf streams (database columns),
+sharded streams (distributed processing), and labelled flow streams
+(network telemetry).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.rng import numpy_generator
+
+
+def zipf_stream(
+    length: int,
+    distinct: int,
+    exponent: float = 1.2,
+    seed: int = 0,
+) -> Iterator[bytes]:
+    """A duplicate-heavy stream over ``distinct`` keys with Zipf popularity.
+
+    Typical of database columns (user ids, URLs): a few keys dominate, the
+    tail is long. The true distinct count of the emitted stream is at most
+    ``distinct`` (usually less; count with an exact counter if needed).
+    """
+    if distinct <= 0 or length < 0:
+        raise ValueError("distinct must be positive and length non-negative")
+    rng = numpy_generator(seed, 0)
+    ranks = np.arange(1, distinct + 1, dtype=np.float64)
+    weights = ranks ** -exponent
+    weights /= weights.sum()
+    choices = rng.choice(distinct, size=length, p=weights)
+    for choice in choices:
+        yield b"key-%d" % int(choice)
+
+
+def uniform_stream(length: int, distinct: int, seed: int = 0) -> Iterator[bytes]:
+    """A stream drawing uniformly from ``distinct`` keys."""
+    rng = numpy_generator(seed, 1)
+    for choice in rng.integers(0, distinct, size=length):
+        yield b"key-%d" % int(choice)
+
+
+def shard_stream(
+    total_distinct: int,
+    shards: int,
+    overlap: float = 0.1,
+    seed: int = 0,
+) -> list[list[bytes]]:
+    """Partition ``total_distinct`` keys over ``shards`` with some overlap.
+
+    Models distributed ingestion where the same user can hit multiple
+    shards — the scenario that motivates mergeability (Sec. 1).
+    """
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError("overlap must lie in [0, 1]")
+    rng = numpy_generator(seed, 2)
+    partitions: list[list[bytes]] = [[] for _ in range(shards)]
+    for key_id in range(total_distinct):
+        key = b"user-%d" % key_id
+        home = int(rng.integers(0, shards))
+        partitions[home].append(key)
+        if rng.random() < overlap:
+            other = int(rng.integers(0, shards))
+            if other != home:
+                partitions[other].append(key)
+    return partitions
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One network flow observation."""
+
+    source: str
+    destination: str
+    port: int
+
+    def flow_key(self) -> bytes:
+        return f"{self.destination}:{self.port}".encode()
+
+
+def flow_stream(
+    length: int,
+    sources: int = 50,
+    destinations: int = 1000,
+    scanner: str | None = "10.0.0.666",
+    scanner_fraction: float = 0.05,
+    seed: int = 0,
+) -> Iterator[FlowRecord]:
+    """Network flow records with an optional port-scanning source.
+
+    Normal sources talk to a handful of (destination, port) pairs; the
+    scanner touches a new pair almost every time — the port-scan detection
+    use case of Sec. 1 (HLL-based attack detection).
+    """
+    rng = numpy_generator(seed, 3)
+    scan_counter = 0
+    for _ in range(length):
+        if scanner is not None and rng.random() < scanner_fraction:
+            scan_counter += 1
+            yield FlowRecord(
+                source=scanner,
+                destination=f"192.168.1.{scan_counter % 254 + 1}",
+                port=int(1024 + scan_counter % 50000),
+            )
+        else:
+            source = f"10.0.0.{int(rng.integers(1, sources + 1))}"
+            destination = f"192.168.0.{int(rng.integers(1, 40))}"
+            port = int(rng.choice([80, 443, 22, 53, 8080]))
+            yield FlowRecord(source=source, destination=destination, port=port)

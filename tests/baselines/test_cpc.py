@@ -1,0 +1,86 @@
+"""CPC surrogate: compressed serialization over a PCSA working state."""
+
+import pytest
+
+from repro.baselines.cpc import CpcSketch
+from repro.baselines.pcsa import PCSA
+from tests.conftest import random_hashes
+
+
+def filled(p, hashes):
+    sketch = CpcSketch(p)
+    for h in hashes:
+        sketch.add_hash(h)
+    return sketch
+
+
+class TestBehaviour:
+    def test_estimates_match_pcsa_ml(self):
+        hashes = random_hashes(1, 10000)
+        cpc = filled(9, hashes)
+        pcsa = PCSA(9)
+        for h in hashes:
+            pcsa.add_hash(h)
+        assert cpc.estimate() == pytest.approx(pcsa.estimate_ml(), rel=1e-12)
+
+    def test_merge_equals_union(self):
+        hashes = random_hashes(2, 4000)
+        a = filled(8, hashes[:2500])
+        b = filled(8, hashes[1500:])
+        assert a.merge(b) == filled(8, hashes)
+
+    def test_merge_type_error(self):
+        with pytest.raises(TypeError):
+            CpcSketch(8).merge_inplace(PCSA(8))
+
+    def test_not_constant_time_flag(self):
+        assert CpcSketch.constant_time_insert is False
+
+
+class TestCompression:
+    """The whole point of CPC: a serialized size near the entropy bound."""
+
+    def test_serialized_much_smaller_than_bitmaps(self):
+        sketch = filled(10, random_hashes(3, 100000))
+        serialized = len(sketch.to_bytes())
+        assert serialized < sketch.pcsa.bitmap_bytes / 5
+
+    def test_memory_about_twice_serialized(self):
+        """Paper Table 2: 1416 vs 656 bytes at p=10 and n=1e6."""
+        sketch = filled(10, random_hashes(4, 100000))
+        ratio = sketch.memory_bytes / len(sketch.to_bytes())
+        assert 1.5 < ratio < 3.5
+
+    def test_roundtrip_lossless(self):
+        for n in (0, 10, 1000, 50000):
+            sketch = filled(9, random_hashes(n + 5, n))
+            restored = CpcSketch.from_bytes(sketch.to_bytes())
+            assert restored == sketch
+
+    def test_serialized_size_grows_then_saturates(self):
+        sizes = []
+        for n in (100, 1000, 10000, 100000):
+            sizes.append(len(filled(10, random_hashes(6, n)).to_bytes()))
+        assert sizes[0] < sizes[-1]
+        # Beyond n >> m the size approaches the asymptotic entropy.
+        assert sizes[-1] < 1.35 * sizes[-2]
+
+    def test_serialized_mvp_near_paper_value(self):
+        """Table 2: serialized CPC MVP ~ 2.46 (ours uses ML, slightly
+        better). Single-run smoke check with generous tolerance."""
+        import math
+
+        n = 50000
+        errors = []
+        size = None
+        for seed in range(12):
+            sketch = filled(10, random_hashes(seed + 50, n))
+            errors.append(sketch.estimate() / n - 1.0)
+            if size is None:
+                size = len(sketch.to_bytes())
+        rmse = math.sqrt(sum(e * e for e in errors) / len(errors))
+        mvp = size * 8 * rmse * rmse
+        # Ours lands *below* the paper's 2.46: ML estimation beats CPC's
+        # ICON/HIP and the model-based range coder is near the entropy
+        # bound (recorded as a favourable deviation in EXPERIMENTS.md).
+        assert 0.4 < mvp < 4.5

@@ -1,0 +1,48 @@
+"""Exact counter baseline."""
+
+import pytest
+
+from repro.baselines.exact import ExactCounter
+from tests.conftest import random_hashes
+
+
+class TestExactCounter:
+    def test_counts_exactly(self):
+        counter = ExactCounter()
+        for h in random_hashes(1, 1000):
+            counter.add_hash(h)
+        assert counter.estimate() == 1000.0
+
+    def test_duplicates_ignored(self):
+        counter = ExactCounter()
+        counter.add("x")
+        counter.add("x")
+        assert counter.estimate() == 1.0
+
+    def test_merge(self):
+        hashes = random_hashes(2, 100)
+        a, b = ExactCounter(), ExactCounter()
+        for h in hashes[:70]:
+            a.add_hash(h)
+        for h in hashes[30:]:
+            b.add_hash(h)
+        assert a.merge(b).estimate() == 100.0
+
+    def test_merge_type_error(self):
+        with pytest.raises(TypeError):
+            ExactCounter().merge_inplace("x")  # type: ignore[arg-type]
+
+    def test_memory_linear(self):
+        counter = ExactCounter()
+        empty = counter.memory_bytes
+        for h in random_hashes(3, 500):
+            counter.add_hash(h)
+        assert counter.memory_bytes == empty + 8 * 500
+
+    def test_roundtrip(self):
+        counter = ExactCounter()
+        for h in random_hashes(4, 300):
+            counter.add_hash(h)
+        restored = ExactCounter.from_bytes(counter.to_bytes())
+        assert restored.estimate() == counter.estimate()
+        assert restored.merge(counter).estimate() == counter.estimate()

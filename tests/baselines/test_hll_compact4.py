@@ -1,0 +1,82 @@
+"""4-bit offset-coded HyperLogLog (DataSketches style)."""
+
+import pytest
+
+from repro.baselines.hll_compact4 import HllCompact4
+from repro.baselines.hyperloglog import HyperLogLog
+from tests.conftest import random_hashes
+
+
+def pair(p, hashes):
+    compact = HllCompact4(p)
+    full = HyperLogLog(p)
+    for h in hashes:
+        compact.add_hash(h)
+        full.add_hash(h)
+    return compact, full
+
+
+class TestValueEquivalence:
+    """The 4-bit coding must be lossless relative to plain HLL."""
+
+    @pytest.mark.parametrize("n", [0, 10, 500, 20000])
+    def test_register_values_match_hll(self, n):
+        compact, full = pair(8, random_hashes(n, n))
+        assert compact.register_values() == list(full.registers)
+
+    def test_estimates_match_hll_ml(self):
+        compact, full = pair(10, random_hashes(5, 30000))
+        assert compact.estimate() == pytest.approx(full.estimate_ml(), rel=1e-12)
+
+    def test_base_rises_with_n(self):
+        compact, _ = pair(6, random_hashes(6, 50000))
+        assert compact.base >= 1
+
+    def test_exceptions_bounded(self):
+        compact, _ = pair(8, random_hashes(7, 50000))
+        # With the base raised, almost every value fits 4 bits.
+        assert compact.exception_count < compact.m // 16
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        hashes = random_hashes(8, 5000)
+        a, _ = pair(7, hashes[:3000])
+        b, _ = pair(7, hashes[2000:])
+        u, _ = pair(7, hashes)
+        assert a.merge(b) == u
+
+    def test_merge_with_plain_hll(self):
+        hashes = random_hashes(9, 2000)
+        compact, full = pair(7, hashes[:1000])
+        other = HyperLogLog(7)
+        for h in hashes[1000:]:
+            other.add_hash(h)
+        compact.merge_inplace(other)
+        expected, _ = pair(7, hashes)
+        assert compact == expected
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            HllCompact4(6).merge_inplace(42)  # type: ignore[arg-type]
+
+
+class TestSizes:
+    def test_smaller_than_6bit(self):
+        compact, full = pair(11, random_hashes(10, 30000))
+        assert compact.memory_bytes < full.memory_bytes
+        assert len(compact.to_bytes()) < len(full.to_bytes())
+
+    def test_memory_varies_with_exceptions(self):
+        empty = HllCompact4(8)
+        loaded, _ = pair(8, random_hashes(11, 100))
+        assert loaded.memory_bytes >= empty.memory_bytes
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("n", [0, 100, 20000])
+    def test_roundtrip(self, n):
+        compact, _ = pair(8, random_hashes(n + 13, n))
+        restored = HllCompact4.from_bytes(compact.to_bytes())
+        assert restored == compact
+        assert restored.register_values() == compact.register_values()

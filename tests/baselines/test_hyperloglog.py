@@ -1,0 +1,154 @@
+"""HyperLogLog (Alg. 1) and its three estimators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hyperloglog import (
+    HyperLogLog,
+    MartingaleHyperLogLog,
+    hll_index_and_value,
+)
+from repro.storage.serialization import SerializationError
+from tests.conftest import random_hashes
+
+hash_lists = st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=200)
+
+
+def filled(p, hashes, width=6):
+    sketch = HyperLogLog(p, width)
+    for h in hashes:
+        sketch.add_hash(h)
+    return sketch
+
+
+class TestAlgorithm1:
+    def test_update_value_range(self):
+        p = 11
+        for h in random_hashes(1, 2000):
+            index, k = hll_index_and_value(h, p)
+            assert 0 <= index < (1 << p)
+            assert 1 <= k <= 65 - p
+
+    def test_all_zero_hash_maximal_value(self):
+        index, k = hll_index_and_value(0, 11)
+        assert index == 0
+        assert k == 65 - 11
+
+    def test_register_is_maximum(self):
+        sketch = HyperLogLog(p=4)
+        values: dict[int, int] = {}
+        for h in random_hashes(2, 500):
+            index, k = hll_index_and_value(h, 4)
+            values[index] = max(values.get(index, 0), k)
+            sketch.add_hash(h)
+        for index, expected in values.items():
+            assert sketch.registers[index] == expected
+
+    @given(hash_lists)
+    @settings(max_examples=40)
+    def test_idempotent(self, hashes):
+        assert filled(6, hashes + hashes) == filled(6, hashes)
+
+    @given(hash_lists)
+    @settings(max_examples=40)
+    def test_order_independent(self, hashes):
+        assert filled(6, hashes) == filled(6, list(reversed(hashes)))
+
+
+class TestEstimators:
+    @pytest.mark.parametrize("n", [100, 5000, 50000])
+    def test_ml_accuracy(self, n):
+        sketch = filled(11, random_hashes(n, n))
+        assert sketch.estimate_ml() == pytest.approx(n, rel=0.12)
+
+    @pytest.mark.parametrize("n", [100, 5000, 50000])
+    def test_raw_accuracy(self, n):
+        sketch = filled(11, random_hashes(n + 1, n))
+        assert sketch.estimate_raw() == pytest.approx(n, rel=0.15)
+
+    def test_linear_counting_small_range(self):
+        sketch = filled(11, random_hashes(3, 10))
+        assert sketch.estimate_raw() == pytest.approx(10, abs=3)
+
+    def test_default_estimate_is_ml(self):
+        sketch = filled(8, random_hashes(4, 1000))
+        assert sketch.estimate() == sketch.estimate_ml()
+
+    def test_empty_estimates_zero(self):
+        assert HyperLogLog(8).estimate_ml() == 0.0
+        assert HyperLogLog(8).estimate_raw() == 0.0
+
+
+class TestMerge:
+    @given(hash_lists, hash_lists)
+    @settings(max_examples=40)
+    def test_merge_equals_union(self, left, right):
+        merged = filled(5, left).merge(filled(5, right))
+        assert merged == filled(5, left + right)
+
+    def test_precision_mismatch(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(5).merge_inplace(HyperLogLog(6))
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("width", [6, 8])
+    def test_roundtrip(self, width):
+        sketch = filled(9, random_hashes(5, 3000), width)
+        restored = HyperLogLog.from_bytes(sketch.to_bytes())
+        assert restored == sketch
+
+    def test_sizes_match_table2(self):
+        """Table 2: 6-bit p=11 serializes near 1536 + header bytes."""
+        assert filled(11, []).register_array_bytes == 1536
+        assert filled(11, [], width=8).register_array_bytes == 2048
+
+    def test_truncated(self):
+        with pytest.raises(SerializationError):
+            HyperLogLog.from_bytes(filled(6, []).to_bytes()[:-2])
+
+
+class TestMartingale:
+    def test_first_element_exact(self):
+        sketch = MartingaleHyperLogLog(11)
+        sketch.add_hash(12345)
+        assert sketch.estimate() == pytest.approx(1.0)
+
+    def test_accuracy(self):
+        n = 30000
+        sketch = MartingaleHyperLogLog(11)
+        for h in random_hashes(6, n):
+            sketch.add_hash(h)
+        # Martingale HLL: sqrt(6 ln2 / (6*2048)) ~ 1.8 %; 5 sigma slack.
+        assert sketch.estimate() == pytest.approx(n, rel=0.1)
+
+    def test_mu_decreases(self):
+        sketch = MartingaleHyperLogLog(6)
+        assert sketch.mu == 1.0
+        for h in random_hashes(7, 500):
+            sketch.add_hash(h)
+        assert 0.0 < sketch.mu < 1.0
+
+    def test_merge_refused(self):
+        with pytest.raises(NotImplementedError):
+            MartingaleHyperLogLog(6).merge_inplace(HyperLogLog(6))
+
+    def test_roundtrip(self):
+        sketch = MartingaleHyperLogLog(8)
+        for h in random_hashes(8, 1000):
+            sketch.add_hash(h)
+        restored = MartingaleHyperLogLog.from_bytes(sketch.to_bytes())
+        assert restored.estimate() == sketch.estimate()
+        assert restored.mu == sketch.mu
+        assert restored.registers == sketch.registers
+
+    def test_registers_identical_to_plain(self):
+        plain = HyperLogLog(8)
+        martingale = MartingaleHyperLogLog(8)
+        for h in random_hashes(9, 2000):
+            plain.add_hash(h)
+            martingale.add_hash(h)
+        assert plain.registers == martingale.registers

@@ -1,0 +1,87 @@
+"""HyperLogLogLog: 3-bit compression must be lossless vs plain HLL."""
+
+import pytest
+
+from repro.baselines.hyperloglog import HyperLogLog
+from repro.baselines.hyperlogloglog import HyperLogLogLog, _optimal_offset
+from tests.conftest import random_hashes
+
+
+def pair(p, hashes):
+    compressed = HyperLogLogLog(p)
+    full = HyperLogLog(p)
+    for h in hashes:
+        compressed.add_hash(h)
+        full.add_hash(h)
+    return compressed, full
+
+
+class TestOptimalOffset:
+    def test_all_zero(self):
+        assert _optimal_offset([0] * 8) == 0
+
+    @staticmethod
+    def _exceptions(values, offset):
+        return sum(1 for v in values if not offset <= v < offset + 7)
+
+    def test_tight_cluster_fully_covered(self):
+        values = [10, 11, 12, 13]
+        offset = _optimal_offset(values)
+        assert self._exceptions(values, offset) == 0
+
+    def test_minimises_exceptions(self):
+        values = [5] * 90 + [20] * 10
+        offset = _optimal_offset(values)
+        # Any optimal offset keeps the 90-strong cluster in the window.
+        assert self._exceptions(values, offset) == 10
+
+    def test_bimodal_prefers_heavier_mode(self):
+        values = [2] * 10 + [30] * 90
+        offset = _optimal_offset(values)
+        assert 24 <= offset <= 30
+
+
+class TestValueEquivalence:
+    @pytest.mark.parametrize("n", [0, 10, 1000, 50000])
+    def test_register_values_match_hll(self, n):
+        compressed, full = pair(8, random_hashes(n + 1, n))
+        assert compressed.register_values() == list(full.registers)
+
+    def test_offset_advances(self):
+        compressed, _ = pair(6, random_hashes(2, 50000))
+        assert compressed.offset > 0
+
+    def test_exception_count_small_after_rebalance(self):
+        compressed, _ = pair(10, random_hashes(3, 100000))
+        assert compressed.exception_count < compressed.m // 4
+
+
+class TestEstimation:
+    def test_uses_original_hll_estimator(self):
+        """Sec. 5.2: HLLL's estimator is the original raw one."""
+        compressed, full = pair(9, random_hashes(4, 20000))
+        assert compressed.estimate() == pytest.approx(full.estimate_raw(), rel=1e-12)
+
+    def test_ml_alternative_matches_hll_ml(self):
+        compressed, full = pair(9, random_hashes(5, 20000))
+        assert compressed.estimate_ml() == pytest.approx(full.estimate_ml(), rel=1e-12)
+
+
+class TestSizeAndSerialization:
+    def test_memory_below_6bit_hll(self):
+        compressed, full = pair(11, random_hashes(6, 100000))
+        assert compressed.memory_bytes < full.memory_bytes
+
+    def test_roundtrip(self):
+        compressed, _ = pair(8, random_hashes(7, 10000))
+        restored = HyperLogLogLog.from_bytes(compressed.to_bytes())
+        assert restored == compressed
+        assert restored.register_values() == compressed.register_values()
+
+    def test_merge_equals_union(self):
+        hashes = random_hashes(8, 6000)
+        a, _ = pair(7, hashes[:4000])
+        b, _ = pair(7, hashes[2000:])
+        u, _ = pair(7, hashes)
+        a.merge_inplace(b)
+        assert a.register_values() == u.register_values()

@@ -1,0 +1,58 @@
+"""HyperMinHash special case (Sec. 2.5)."""
+
+import pytest
+
+from repro.baselines.hyperminhash import HyperMinHash
+from repro.core.exaloglog import ExaLogLog
+from repro.setops import jaccard_estimate
+from tests.conftest import random_hashes
+
+
+class TestSpecialCase:
+    def test_is_ell_t_0(self):
+        sketch = HyperMinHash(t=2, p=8)
+        assert (sketch.t, sketch.d) == (2, 0)
+        assert sketch.params.register_bits == 8
+
+    def test_matches_generic_ell(self):
+        hmh = HyperMinHash(t=1, p=6)
+        ell = ExaLogLog(1, 0, 6)
+        for h in random_hashes(1, 3000):
+            hmh.add_hash(h)
+            ell.add_hash(h)
+        assert list(hmh.registers) == list(ell.registers)
+        assert hmh.estimate() == ell.estimate()
+
+    def test_reduction_from_windowed_ell(self):
+        """Dropping d to 0 turns any ELL into the HyperMinHash state."""
+        hashes = random_hashes(2, 2000)
+        rich = ExaLogLog(2, 20, 6)
+        hmh = HyperMinHash(t=2, p=6)
+        for h in hashes:
+            rich.add_hash(h)
+            hmh.add_hash(h)
+        reduced = rich.reduce(d=0)
+        assert list(reduced.registers) == list(hmh.registers)
+        assert HyperMinHash.from_exaloglog(reduced) == hmh
+
+    def test_from_exaloglog_validation(self):
+        with pytest.raises(ValueError):
+            HyperMinHash.from_exaloglog(ExaLogLog(2, 20, 6))
+
+    def test_estimation_accuracy(self):
+        n = 20000
+        sketch = HyperMinHash(t=2, p=10)
+        for h in random_hashes(3, n):
+            sketch.add_hash(h)
+        assert sketch.estimate() == pytest.approx(n, rel=0.12)
+
+    def test_jaccard_use_case(self):
+        """HyperMinHash's raison d'etre: similarity estimation."""
+        a = HyperMinHash(t=2, p=11)
+        b = HyperMinHash(t=2, p=11)
+        for i in range(20000):
+            a.add(f"k{i}")
+        for i in range(10000, 30000):
+            b.add(f"k{i}")
+        # True Jaccard: 10000 / 30000 = 1/3.
+        assert jaccard_estimate(a, b) == pytest.approx(1 / 3, abs=0.1)

@@ -1,0 +1,96 @@
+"""PCSA / FM-sketch and its two estimators."""
+
+import math
+
+import pytest
+
+from repro.baselines.pcsa import PCSA
+from tests.conftest import random_hashes
+
+
+def filled(p, hashes):
+    sketch = PCSA(p)
+    for h in hashes:
+        sketch.add_hash(h)
+    return sketch
+
+
+class TestStructure:
+    def test_levels(self):
+        assert PCSA(10).levels == 54
+
+    def test_level_probabilities_sum_to_one(self):
+        sketch = PCSA(8)
+        total = sum(sketch.level_probability(k) for k in range(sketch.levels))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_bits_accumulate(self):
+        sketch = PCSA(4)
+        before = sum(bin(b).count("1") for b in sketch.bitmaps)
+        for h in random_hashes(1, 100):
+            sketch.add_hash(h)
+        after = sum(bin(b).count("1") for b in sketch.bitmaps)
+        assert after > before
+
+    def test_idempotent(self):
+        hashes = random_hashes(2, 500)
+        assert filled(6, hashes) == filled(6, hashes + hashes)
+
+    def test_stores_more_than_max(self):
+        """Unlike HLL, PCSA remembers every level hit (Sec. 2.5)."""
+        sketch = PCSA(4)
+        for h in random_hashes(3, 5000):
+            sketch.add_hash(h)
+        assert any(bin(b).count("1") > 1 for b in sketch.bitmaps)
+
+
+class TestEstimators:
+    @pytest.mark.parametrize("n", [1000, 20000])
+    def test_ml_accuracy(self, n):
+        sketch = filled(10, random_hashes(n, n))
+        # ML rel error ~ sqrt(ln2/(m zeta(2,1))) ~ 2 %; 5 sigma slack.
+        assert sketch.estimate_ml() == pytest.approx(n, rel=0.11)
+
+    def test_fm_accuracy(self):
+        n = 50000
+        sketch = filled(10, random_hashes(4, n))
+        # The FM estimator is coarser; allow 15 %.
+        assert sketch.estimate_fm() == pytest.approx(n, rel=0.15)
+
+    def test_ml_beats_fm_on_variance(self):
+        """Sec. 6: ML estimation should work for PCSA, and well."""
+        n = 5000
+        ml_sq = fm_sq = 0.0
+        runs = 25
+        for seed in range(runs):
+            sketch = filled(8, random_hashes(seed + 100, n))
+            ml_sq += (sketch.estimate_ml() / n - 1.0) ** 2
+            fm_sq += (sketch.estimate_fm() / n - 1.0) ** 2
+        assert math.sqrt(ml_sq / runs) < math.sqrt(fm_sq / runs) * 1.25
+
+    def test_empty(self):
+        assert PCSA(6).estimate_ml() == 0.0
+
+
+class TestMergeAndSerialization:
+    def test_merge_equals_union(self):
+        hashes = random_hashes(5, 4000)
+        a = filled(7, hashes[:2500])
+        b = filled(7, hashes[1500:])
+        assert a.merge(b) == filled(7, hashes)
+
+    def test_merge_mismatch(self):
+        with pytest.raises(ValueError):
+            PCSA(6).merge_inplace(PCSA(7))
+
+    def test_roundtrip(self):
+        sketch = filled(8, random_hashes(6, 3000))
+        assert PCSA.from_bytes(sketch.to_bytes()) == sketch
+
+    def test_bitmap_bytes(self):
+        # p=10: 54 levels * 1024 buckets / 8 = 6912 bytes.
+        assert PCSA(10).bitmap_bytes == 6912
+
+    def test_windowed_memory_smaller_than_full(self):
+        sketch = filled(10, random_hashes(7, 30000))
+        assert sketch.windowed_memory_bytes() < sketch.bitmap_bytes

@@ -1,0 +1,91 @@
+"""SpikeSketch behavioural model: documented traits of Sec. 1.1 / 5.2."""
+
+import math
+
+import pytest
+
+from repro.baselines.spikesketch import ACCEPTANCE, SpikeSketch
+from tests.conftest import random_hashes
+
+
+def filled(buckets, hashes):
+    sketch = SpikeSketch(buckets)
+    for h in hashes:
+        sketch.add_hash(h)
+    return sketch
+
+
+class TestModelTraits:
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            SpikeSketch(100)  # not a power of two
+
+    def test_size_is_8_bytes_per_bucket(self):
+        """Table 2's lower bound: 128 buckets >= 1024 bytes."""
+        sketch = SpikeSketch(128)
+        assert sketch.memory_bytes - 16 == 1024
+        assert len(sketch.to_bytes()) - 8 == 1024
+
+    def test_level_probabilities_sum_to_one(self):
+        sketch = SpikeSketch(128)
+        total = sum(sketch.level_probability(k) for k in range(1, sketch.max_level + 1))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_geometric_success_three_quarters(self):
+        """Sec. 1.1: update values follow geometric with success 3/4."""
+        sketch = SpikeSketch(128)
+        assert sketch.level_probability(1) == pytest.approx(0.75)
+        assert sketch.level_probability(2) == pytest.approx(0.75 / 4)
+
+    def test_smoothing_drops_36_percent_at_n1(self):
+        """Sec. 5.2: error is 100 % with ~36 % probability at n = 1."""
+        zero_estimates = 0
+        runs = 1500
+        for seed in range(runs):
+            sketch = filled(128, random_hashes(seed, 1))
+            if sketch.estimate() == 0.0:
+                zero_estimates += 1
+        assert zero_estimates / runs == pytest.approx(1.0 - ACCEPTANCE, abs=0.05)
+
+    def test_idempotent(self):
+        hashes = random_hashes(1, 500)
+        assert filled(64, hashes) == filled(64, hashes + hashes)
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("n", [1000, 20000])
+    def test_accuracy_at_moderate_n(self, n):
+        sketch = filled(128, random_hashes(n, n))
+        # The model's RMSE is ~2.9 % at 128 buckets; allow 5 sigma.
+        assert sketch.estimate() == pytest.approx(n, rel=0.15)
+
+    def test_empty(self):
+        assert SpikeSketch(128).estimate() == 0.0
+
+    def test_high_mvp_at_small_n(self):
+        """Figure 10: the MVP blows up below n ~ 1e4 (lossy + smoothing)."""
+        n = 10
+        squared = 0.0
+        runs = 300
+        for seed in range(runs):
+            sketch = filled(128, random_hashes(seed + 2000, n))
+            squared += (sketch.estimate() / n - 1.0) ** 2
+        rmse = math.sqrt(squared / runs)
+        mvp = 1024 * 8 * rmse * rmse
+        assert mvp > 20  # vastly above the asymptotic value
+
+
+class TestMergeAndSerialization:
+    def test_merge_equals_union(self):
+        hashes = random_hashes(3, 3000)
+        a = filled(64, hashes[:2000])
+        b = filled(64, hashes[1000:])
+        assert a.merge(b) == filled(64, hashes)
+
+    def test_merge_mismatch(self):
+        with pytest.raises(ValueError):
+            SpikeSketch(64).merge_inplace(SpikeSketch(128))
+
+    def test_roundtrip(self):
+        sketch = filled(128, random_hashes(4, 5000))
+        assert SpikeSketch.from_bytes(sketch.to_bytes()) == sketch

@@ -1,0 +1,94 @@
+"""ULL / EHLL as ExaLogLog special cases (paper Sec. 2.5)."""
+
+import pytest
+
+from repro.baselines.ultraloglog import (
+    ExtendedHyperLogLog,
+    MartingaleUltraLogLog,
+    UltraLogLog,
+)
+from repro.core.exaloglog import ExaLogLog
+from tests.conftest import random_hashes
+
+
+class TestUltraLogLog:
+    def test_is_ell_0_2(self):
+        sketch = UltraLogLog(p=10)
+        assert (sketch.t, sketch.d, sketch.p) == (0, 2, 10)
+        assert sketch.params.register_bits == 8
+
+    def test_one_byte_per_register(self):
+        """Table 2: ULL p=10 register array is exactly 1024 bytes."""
+        assert UltraLogLog(10).register_array_bytes == 1024
+
+    def test_state_matches_generic_ell(self):
+        ull = UltraLogLog(8)
+        ell = ExaLogLog(0, 2, 8)
+        for h in random_hashes(1, 5000):
+            ull.add_hash(h)
+            ell.add_hash(h)
+        assert list(ull.registers) == list(ell.registers)
+        assert ull.estimate() == ell.estimate()
+
+    def test_accuracy(self):
+        n = 30000
+        sketch = UltraLogLog(10)
+        for h in random_hashes(2, n):
+            sketch.add_hash(h)
+        # Theory: sqrt(4.63/8192) ~ 2.4 %; 5 sigma slack.
+        assert sketch.estimate() == pytest.approx(n, rel=0.12)
+
+    def test_roundtrip(self):
+        sketch = UltraLogLog(8)
+        for h in random_hashes(3, 2000):
+            sketch.add_hash(h)
+        assert UltraLogLog.from_bytes(sketch.to_bytes()) == sketch
+
+    def test_from_exaloglog(self):
+        ell = ExaLogLog(0, 2, 6)
+        for h in random_hashes(4, 500):
+            ell.add_hash(h)
+        assert list(UltraLogLog.from_exaloglog(ell).registers) == list(ell.registers)
+        with pytest.raises(ValueError):
+            UltraLogLog.from_exaloglog(ExaLogLog(2, 20, 6))
+
+    def test_reduction_from_larger_ell_equals_direct(self):
+        """Any ELL(0, d>=2) reduces losslessly to the ULL special case."""
+        hashes = random_hashes(5, 3000)
+        rich = ExaLogLog(0, 8, 8)
+        ull = UltraLogLog(6)
+        for h in hashes:
+            rich.add_hash(h)
+            ull.add_hash(h)
+        assert rich.reduce(d=2, p=6) == ull.as_ell() if hasattr(ull, "as_ell") else True
+        assert list(rich.reduce(d=2, p=6).registers) == list(ull.registers)
+
+    def test_copy_preserves_type(self):
+        assert type(UltraLogLog(6).copy()) is UltraLogLog
+
+
+class TestMartingaleUltraLogLog:
+    def test_accuracy(self):
+        n = 20000
+        sketch = MartingaleUltraLogLog(10)
+        for h in random_hashes(6, n):
+            sketch.add_hash(h)
+        assert sketch.estimate() == pytest.approx(n, rel=0.1)
+
+    def test_type(self):
+        sketch = MartingaleUltraLogLog(8)
+        assert (sketch.t, sketch.d, sketch.p) == (0, 2, 8)
+
+
+class TestExtendedHyperLogLog:
+    def test_is_ell_0_1(self):
+        sketch = ExtendedHyperLogLog(p=10)
+        assert (sketch.t, sketch.d) == (0, 1)
+        assert sketch.params.register_bits == 7
+
+    def test_accuracy(self):
+        n = 20000
+        sketch = ExtendedHyperLogLog(10)
+        for h in random_hashes(7, n):
+            sketch.add_hash(h)
+        assert sketch.estimate() == pytest.approx(n, rel=0.12)

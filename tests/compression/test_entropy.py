@@ -1,0 +1,58 @@
+"""Entropy computations for sketch states."""
+
+import math
+
+import pytest
+
+from repro.compression.entropy import (
+    bit_probability_table,
+    empirical_entropy_bits,
+    register_entropy_bits,
+    theoretical_compressed_bytes,
+)
+from repro.core.params import make_params
+
+
+class TestEmpiricalEntropy:
+    def test_constant_sequence_zero(self):
+        assert empirical_entropy_bits([7] * 100) == 0.0
+
+    def test_uniform_two_symbols_one_bit(self):
+        assert empirical_entropy_bits([0, 1] * 50) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert empirical_entropy_bits([]) == 0.0
+
+    def test_upper_bound_log_alphabet(self):
+        values = list(range(16)) * 10
+        assert empirical_entropy_bits(values) == pytest.approx(4.0)
+
+
+class TestRegisterEntropy:
+    def test_small_n_low_entropy(self):
+        params = make_params(2, 6, 2)
+        assert register_entropy_bits(0.01, params) < 0.1
+
+    def test_entropy_peaks_below_register_width(self):
+        """The Sec. 3.1 distribution never fills the register width —
+        that gap is the compression opportunity of Figures 6-7."""
+        params = make_params(2, 6, 2)
+        entropies = [register_entropy_bits(n, params) for n in (10, 100, 1000, 10000)]
+        assert max(entropies) < params.register_bits
+        assert max(entropies) > 3.0
+
+    def test_rejects_large_d(self):
+        with pytest.raises(ValueError):
+            register_entropy_bits(10.0, make_params(2, 20, 4))
+
+    def test_compressed_bytes_scaling(self):
+        params = make_params(2, 6, 4)
+        bound = theoretical_compressed_bytes(1000.0, params)
+        assert 0 < bound < params.dense_bytes
+
+
+class TestBitProbabilities:
+    def test_poisson_model(self):
+        probs = bit_probability_table(100.0, 10, [0.5, 0.25])
+        assert probs[0] == pytest.approx(math.exp(-100.0 * 0.5 / 10))
+        assert probs[1] == pytest.approx(math.exp(-100.0 * 0.25 / 10))

@@ -1,0 +1,93 @@
+"""Range coder: losslessness and near-entropy coding rates."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.rangecoder import (
+    PROB_ONE,
+    RangeDecoder,
+    RangeEncoder,
+    quantize_probability,
+)
+
+
+def roundtrip(bits, probs):
+    encoder = RangeEncoder()
+    for bit, prob in zip(bits, probs):
+        encoder.encode_bit(prob, bit)
+    data = encoder.finish()
+    decoder = RangeDecoder(data)
+    return [decoder.decode_bit(prob) for prob in probs], data
+
+
+class TestLosslessness:
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(1, PROB_ONE - 1)), max_size=300))
+    @settings(max_examples=100)
+    def test_roundtrip_arbitrary_probabilities(self, pairs):
+        bits = [bit for bit, _ in pairs]
+        probs = [prob for _, prob in pairs]
+        decoded, _ = roundtrip(bits, probs)
+        assert decoded == bits
+
+    def test_long_skewed_stream(self):
+        generator = random.Random(1)
+        probs = []
+        bits = []
+        for _ in range(20000):
+            p0 = generator.choice([60000, 65000, 65535, 1, 100, 32768])
+            probs.append(p0)
+            bits.append(0 if generator.random() < p0 / PROB_ONE else 1)
+        decoded, _ = roundtrip(bits, probs)
+        assert decoded == bits
+
+    def test_carry_propagation_stress(self):
+        """Alternating extreme probabilities exercise the 0xFF carry path."""
+        probs = [1, PROB_ONE - 1] * 2000
+        bits = [0, 0] * 2000
+        decoded, _ = roundtrip(bits, probs)
+        assert decoded == bits
+
+    def test_empty(self):
+        encoder = RangeEncoder()
+        assert len(encoder.finish()) == 5
+
+
+class TestCompressionRate:
+    def test_skewed_bits_near_entropy(self):
+        """Coding cost should be within ~2 % of the Shannon entropy."""
+        generator = random.Random(7)
+        p_zero = 0.98
+        prob = quantize_probability(p_zero)
+        bits = [0 if generator.random() < p_zero else 1 for _ in range(50000)]
+        _, data = roundtrip(bits, [prob] * len(bits))
+        entropy_bits = sum(
+            -math.log2(p_zero) if bit == 0 else -math.log2(1 - p_zero) for bit in bits
+        )
+        assert len(data) * 8 <= entropy_bits * 1.02 + 64
+
+    def test_uniform_bits_one_bit_each(self):
+        generator = random.Random(8)
+        prob = PROB_ONE // 2
+        bits = [generator.randint(0, 1) for _ in range(10000)]
+        _, data = roundtrip(bits, [prob] * len(bits))
+        assert len(data) * 8 <= len(bits) * 1.01 + 64
+
+
+class TestQuantize:
+    def test_clamps(self):
+        assert quantize_probability(0.0) == 1
+        assert quantize_probability(1.0) == PROB_ONE - 1
+
+    def test_midpoint(self):
+        assert quantize_probability(0.5) == PROB_ONE // 2
+
+    def test_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RangeEncoder().encode_bit(0, 1)
+        with pytest.raises(ValueError):
+            RangeEncoder().encode_bit(PROB_ONE, 1)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import make_params
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; reseed per test for reproducibility."""
+    return random.Random(0xC0FFEE)
+
+
+def random_hashes(seed: int, count: int) -> list[int]:
+    """Deterministic list of 64-bit pseudo-hash values."""
+    generator = random.Random(seed)
+    return [generator.getrandbits(64) for _ in range(count)]
+
+
+#: Small parameter sets that exercise all structural regimes
+#: (t = 0/1/2, d = 0 / small / larger-than-typical-u, various p).
+SMALL_PARAMS = [
+    make_params(0, 0, 2),
+    make_params(0, 1, 3),
+    make_params(0, 2, 4),
+    make_params(1, 3, 3),
+    make_params(1, 9, 4),
+    make_params(2, 6, 2),
+    make_params(2, 16, 4),
+    make_params(2, 20, 5),
+    make_params(2, 24, 6),
+    make_params(3, 5, 4),
+]
+
+#: The paper's named configurations at moderate precision.
+PAPER_PARAMS = [
+    make_params(1, 9, 6),
+    make_params(2, 16, 6),
+    make_params(2, 20, 6),
+    make_params(2, 24, 6),
+]

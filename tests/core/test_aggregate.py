@@ -1,0 +1,103 @@
+"""Group-by aggregation layer."""
+
+import pytest
+
+from repro.aggregate import DistinctCountAggregator
+
+
+def build(pairs, **kwargs):
+    aggregator = DistinctCountAggregator(**kwargs)
+    for group, item in pairs:
+        aggregator.add(group, item)
+    return aggregator
+
+
+class TestAccumulation:
+    def test_per_group_counts(self):
+        aggregator = build(
+            [("a", i) for i in range(100)] + [("b", i) for i in range(10)]
+        )
+        assert aggregator.estimate("a") == pytest.approx(100, rel=0.05, abs=2)
+        assert aggregator.estimate("b") == pytest.approx(10, rel=0.05, abs=1)
+
+    def test_unseen_group_zero(self):
+        assert DistinctCountAggregator().estimate("nope") == 0.0
+
+    def test_duplicates_free(self):
+        aggregator = build([("g", "x")] * 100)
+        assert aggregator.estimate("g") == pytest.approx(1.0)
+
+    def test_group_key_types(self):
+        aggregator = DistinctCountAggregator()
+        aggregator.add(b"bytes", 1)
+        aggregator.add("str", 1)
+        aggregator.add(42, 1)
+        assert len(aggregator) == 3
+        assert 42 in aggregator
+
+    def test_add_pairs_and_top(self):
+        aggregator = DistinctCountAggregator()
+        aggregator.add_pairs(("big" if i % 4 else "small", i) for i in range(4000))
+        top = aggregator.top(1)
+        assert top[0][0] == b"big"
+
+    def test_estimates_keys(self):
+        aggregator = build([("x", 1), ("y", 2)])
+        assert set(aggregator.estimates()) == {b"x", b"y"}
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        left = build([("g", i) for i in range(3000)], p=8)
+        right = build([("g", i) for i in range(2000, 5000)], p=8)
+        merged = left.merge(right)
+        assert merged.estimate("g") == pytest.approx(5000, rel=0.12)
+
+    def test_merge_disjoint_groups(self):
+        left = build([("a", 1)])
+        right = build([("b", 2)])
+        merged = left.merge(right)
+        assert len(merged) == 2
+
+    def test_merge_leaves_operands_unchanged(self):
+        left = build([("g", 1)])
+        right = build([("g", 2)])
+        left.merge(right)
+        assert left.estimate("g") == pytest.approx(1.0)
+
+    def test_config_mismatch(self):
+        with pytest.raises(ValueError):
+            DistinctCountAggregator(p=8).merge(DistinctCountAggregator(p=9))
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            DistinctCountAggregator().merge_inplace(object())  # type: ignore[arg-type]
+
+
+class TestSparseBehaviour:
+    def test_small_groups_stay_small(self):
+        sparse = build([(f"g{i}", i) for i in range(100)], sparse=True, p=10)
+        dense = build([(f"g{i}", i) for i in range(100)], sparse=False, p=10)
+        assert sparse.total_memory_bytes() < dense.total_memory_bytes() / 20
+
+    def test_dense_mode_works(self):
+        aggregator = build([("g", i) for i in range(500)], sparse=False)
+        assert aggregator.estimate("g") == pytest.approx(500, rel=0.1)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("sparse", [True, False])
+    def test_roundtrip(self, sparse):
+        aggregator = build(
+            [(f"group-{i % 7}", i) for i in range(3000)], sparse=sparse, p=8
+        )
+        restored = DistinctCountAggregator.from_bytes(aggregator.to_bytes())
+        assert restored == aggregator
+        assert restored.estimates() == aggregator.estimates()
+
+    def test_empty_roundtrip(self):
+        aggregator = DistinctCountAggregator()
+        assert DistinctCountAggregator.from_bytes(aggregator.to_bytes()) == aggregator
+
+    def test_repr(self):
+        assert "groups=0" in repr(DistinctCountAggregator())

@@ -1,0 +1,179 @@
+"""Update-value distribution laws (paper Eq. (2), (8), (10), (11), (14))."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import (
+    approx_pmf_unbounded,
+    geometric_pmf,
+    kl_divergence_to_geometric,
+    omega,
+    omega_bruteforce,
+    omega_scaled,
+    phi,
+    rho_table,
+    rho_update,
+    update_value_from_hash,
+)
+from repro.core.params import make_params
+from tests.conftest import SMALL_PARAMS
+
+
+class TestGeometricPmf:
+    def test_normalised(self):
+        for base in (2.0, 2.0 ** 0.5, 2.0 ** 0.25):
+            total = sum(geometric_pmf(k, base) for k in range(1, 3000))
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_outside_support(self):
+        assert geometric_pmf(0, 2.0) == 0.0
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            geometric_pmf(1, 1.0)
+
+
+class TestApproxPmf:
+    def test_t0_equals_geometric_base2(self):
+        """Sec. 2.3: for t = 0 the distributions are identical."""
+        for k in range(1, 60):
+            assert approx_pmf_unbounded(k, 0) == pytest.approx(geometric_pmf(k, 2.0))
+
+    @pytest.mark.parametrize("t", [0, 1, 2, 3])
+    def test_normalised(self, t):
+        total = sum(approx_pmf_unbounded(k, t) for k in range(1, 5000))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_chunk_identity(self, t):
+        """Sec. 2.2: chunks of 2**t values carry probability 2**-(c+1)."""
+        base = 2.0 ** (2.0 ** -t)
+        for c in range(6):
+            lo = c * (1 << t) + 1
+            hi = (c + 1) * (1 << t)
+            approx_sum = sum(approx_pmf_unbounded(k, t) for k in range(lo, hi + 1))
+            geom_sum = sum(geometric_pmf(k, base) for k in range(lo, hi + 1))
+            assert approx_sum == pytest.approx(2.0 ** -(c + 1))
+            assert geom_sum == pytest.approx(2.0 ** -(c + 1))
+
+    def test_kl_divergence_small_and_decreasing_relevance(self):
+        """Eq. (8) tracks Eq. (2) closely (the Figure 2 visual claim)."""
+        for t in (1, 2, 3):
+            assert 0.0 < kl_divergence_to_geometric(t) < 0.05
+
+
+class TestTruncatedPmf:
+    @pytest.mark.parametrize("params", SMALL_PARAMS, ids=str)
+    def test_normalised(self, params):
+        total = sum(
+            rho_update(k, params) for k in range(1, params.max_update_value + 1)
+        )
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    @pytest.mark.parametrize("params", SMALL_PARAMS, ids=str)
+    def test_zero_outside_support(self, params):
+        assert rho_update(0, params) == 0.0
+        assert rho_update(params.max_update_value + 1, params) == 0.0
+
+    @pytest.mark.parametrize("params", SMALL_PARAMS, ids=str)
+    def test_phi_bounds(self, params):
+        for k in range(1, params.max_update_value + 1):
+            assert params.t + 1 <= phi(k, params) <= 64 - params.p
+
+    def test_phi_matches_eq11(self):
+        params = make_params(2, 20, 8)
+        assert phi(1, params) == 3
+        assert phi(4, params) == 3
+        assert phi(5, params) == 4
+        assert phi(params.max_update_value, params) == 56
+
+
+class TestOmega:
+    """Lemma B.1: the closed form equals the brute-force tail sum."""
+
+    @pytest.mark.parametrize("params", SMALL_PARAMS, ids=str)
+    def test_matches_bruteforce(self, params):
+        for u in range(0, params.max_update_value + 1):
+            assert omega(u, params) == pytest.approx(
+                omega_bruteforce(u, params), abs=1e-12
+            )
+
+    @pytest.mark.parametrize("params", SMALL_PARAMS, ids=str)
+    def test_boundary_values(self, params):
+        assert omega(0, params) == pytest.approx(1.0)
+        assert omega(params.max_update_value, params) == 0.0
+
+    @pytest.mark.parametrize("params", SMALL_PARAMS, ids=str)
+    def test_monotone_decreasing(self, params):
+        values = [omega(u, params) for u in range(params.max_update_value + 1)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("params", SMALL_PARAMS, ids=str)
+    def test_scaled_is_exact_integer(self, params):
+        for u in range(0, params.max_update_value + 1, 7):
+            scaled = omega_scaled(u, params)
+            assert scaled == round(omega(u, params) * 2 ** (64 - params.p))
+
+    def test_rejects_out_of_range(self):
+        params = make_params(2, 20, 8)
+        with pytest.raises(ValueError):
+            omega(-1, params)
+        with pytest.raises(ValueError):
+            omega(params.max_update_value + 1, params)
+
+
+class TestHashSplitting:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=200)
+    def test_ranges(self, hash_value):
+        params = make_params(2, 20, 8)
+        index, k = update_value_from_hash(hash_value, params)
+        assert 0 <= index < params.m
+        assert 1 <= k <= params.max_update_value
+
+    def test_eq9_worked_example(self):
+        """Update value = NLZ * 2**t + (t low bits) + 1 (Eq. (9))."""
+        params = make_params(2, 20, 8)
+        # Hash with bit 63 set: NLZ of the masked value is 0.
+        h = (1 << 63) | 0b11  # low t bits = 3
+        index, k = update_value_from_hash(h, params)
+        assert k == 0 * 4 + 3 + 1
+        # Hash that is all zeros: NLZ takes its maximum 64 - p - t.
+        index, k = update_value_from_hash(0, params)
+        assert k == (64 - 8 - 2) * 4 + 0 + 1
+        assert index == 0
+
+    def test_register_index_bits(self):
+        """The index comes from bits [t, t+p) (Algorithm 2)."""
+        params = make_params(2, 20, 8)
+        h = 0b1010_1010 << 2  # index bits = 0b10101010, low t bits zero
+        index, _ = update_value_from_hash(h, params)
+        assert index == 0b10101010
+
+    def test_empirical_distribution(self):
+        """Update values from uniform hashes follow Eq. (10)."""
+        import random
+
+        params = make_params(2, 6, 4)
+        generator = random.Random(5)
+        counts: dict[int, int] = {}
+        samples = 200000
+        for _ in range(samples):
+            _, k = update_value_from_hash(generator.getrandbits(64), params)
+            counts[k] = counts.get(k, 0) + 1
+        for k in range(1, 13):
+            expected = rho_update(k, params)
+            observed = counts.get(k, 0) / samples
+            assert observed == pytest.approx(expected, rel=0.1)
+
+
+class TestTables:
+    @pytest.mark.parametrize("params", SMALL_PARAMS[:4], ids=str)
+    def test_rho_table_contents(self, params):
+        table = rho_table(params)
+        assert table[0] == 0.0
+        for k in range(1, params.max_update_value + 1):
+            assert table[k] == rho_update(k, params)

@@ -1,0 +1,212 @@
+"""ExaLogLog sketch: insertion, merging, serialization, estimation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exaloglog import ExaLogLog
+from repro.core.params import make_params
+from repro.storage.serialization import SerializationError
+from tests.conftest import PAPER_PARAMS, random_hashes
+
+hash_lists = st.lists(
+    st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=300
+)
+
+
+def filled(params, hashes):
+    sketch = ExaLogLog.from_params(params)
+    for h in hashes:
+        sketch.add_hash(h)
+    return sketch
+
+
+class TestBasics:
+    def test_empty(self):
+        sketch = ExaLogLog(2, 20, 8)
+        assert sketch.is_empty
+        assert sketch.estimate() == 0.0
+        assert sketch.m == 256
+
+    def test_add_returns_self(self):
+        sketch = ExaLogLog(2, 20, 4)
+        assert sketch.add("x") is sketch
+
+    def test_add_all(self):
+        sketch = ExaLogLog(2, 20, 8).add_all(["a", "b", "c"])
+        assert not sketch.is_empty
+
+    def test_repr(self):
+        assert "t=2" in repr(ExaLogLog(2, 20, 8))
+
+    def test_equality(self):
+        a = ExaLogLog(2, 20, 4).add("x")
+        b = ExaLogLog(2, 20, 4).add("x")
+        c = ExaLogLog(2, 20, 4).add("y")
+        assert a == b
+        assert a != c
+        assert a != "not a sketch"
+
+    def test_copy_is_independent(self):
+        a = ExaLogLog(2, 20, 4).add("x")
+        b = a.copy()
+        b.add("y")
+        assert a != b
+
+    def test_from_registers_validation(self):
+        params = make_params(2, 20, 4)
+        with pytest.raises(ValueError):
+            ExaLogLog.from_registers(params, [0] * 3)
+        with pytest.raises(ValueError):
+            ExaLogLog.from_registers(params, [-1] * params.m)
+        with pytest.raises(ValueError):
+            ExaLogLog.from_registers(
+                params, [params.max_register_value + 1] * params.m
+            )
+
+
+class TestIdempotency:
+    """Paper Sec. 1: further insertions of the same element never change
+    the state."""
+
+    @given(hash_lists)
+    @settings(max_examples=60)
+    def test_duplicate_stream(self, hashes):
+        params = make_params(2, 16, 4)
+        once = filled(params, hashes)
+        twice = filled(params, hashes + hashes)
+        assert once == twice
+
+    def test_add_hash_change_flag(self):
+        sketch = ExaLogLog(2, 20, 4)
+        h = 0xDEADBEEFCAFEBABE
+        assert sketch.add_hash(h) is True
+        assert sketch.add_hash(h) is False
+
+
+class TestCommutativity:
+    """Paper Sec. 1 reproducibility: order never matters."""
+
+    @given(hash_lists)
+    @settings(max_examples=60)
+    def test_reversed_stream(self, hashes):
+        params = make_params(1, 9, 4)
+        assert filled(params, hashes) == filled(params, list(reversed(hashes)))
+
+
+class TestMerge:
+    @given(hash_lists, hash_lists)
+    @settings(max_examples=60)
+    def test_merge_equals_union(self, left, right):
+        params = make_params(2, 16, 4)
+        merged = filled(params, left).merge(filled(params, right))
+        assert merged == filled(params, left + right)
+
+    @given(hash_lists, hash_lists)
+    @settings(max_examples=40)
+    def test_merge_commutative(self, left, right):
+        params = make_params(2, 20, 4)
+        a, b = filled(params, left), filled(params, right)
+        assert a.merge(b) == b.merge(a)
+
+    def test_or_operator(self):
+        params = make_params(2, 20, 4)
+        hashes = random_hashes(1, 100)
+        a = filled(params, hashes[:50])
+        b = filled(params, hashes[50:])
+        assert (a | b) == filled(params, hashes)
+
+    def test_merge_mixed_parameters_reduces(self):
+        hashes = random_hashes(2, 500)
+        coarse = filled(make_params(2, 16, 4), hashes[:300])
+        fine = filled(make_params(2, 20, 6), hashes[200:])
+        merged = coarse.merge(fine)
+        assert merged.params == make_params(2, 16, 4)
+        assert merged == filled(make_params(2, 16, 4), hashes)
+
+    def test_merge_requires_same_t(self):
+        with pytest.raises(ValueError):
+            ExaLogLog(2, 20, 4).merge(ExaLogLog(1, 9, 4))
+
+    def test_merge_inplace_requires_same_params(self):
+        with pytest.raises(ValueError):
+            ExaLogLog(2, 20, 4).merge_inplace(ExaLogLog(2, 20, 6))
+
+    def test_merge_rejects_foreign_type(self):
+        with pytest.raises(TypeError):
+            ExaLogLog(2, 20, 4).merge("nope")  # type: ignore[arg-type]
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("params", PAPER_PARAMS, ids=str)
+    def test_roundtrip(self, params):
+        sketch = filled(params, random_hashes(3, 2000))
+        data = sketch.to_bytes()
+        assert len(data) == sketch.serialized_size_bytes
+        assert ExaLogLog.from_bytes(data) == sketch
+
+    def test_empty_roundtrip(self):
+        sketch = ExaLogLog(2, 20, 8)
+        assert ExaLogLog.from_bytes(sketch.to_bytes()) == sketch
+
+    def test_register_array_bytes_matches_paper(self):
+        """Table 2: ELL(2,20,p=8) register array = 896 bytes."""
+        assert ExaLogLog(2, 20, 8).register_array_bytes == 896
+        assert ExaLogLog(2, 24, 8).register_array_bytes == 1024
+
+    def test_truncated_rejected(self):
+        data = ExaLogLog(2, 20, 4).to_bytes()
+        with pytest.raises(SerializationError):
+            ExaLogLog.from_bytes(data[:-1])
+
+    def test_foreign_data_rejected(self):
+        with pytest.raises(SerializationError):
+            ExaLogLog.from_bytes(b"garbage-bytes-here")
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("n", [1, 10, 100, 1000])
+    def test_small_counts_accurate(self, n):
+        sketch = filled(make_params(2, 20, 8), random_hashes(n, n))
+        assert sketch.estimate() == pytest.approx(n, rel=0.15, abs=1.5)
+
+    def test_large_count_within_theory(self):
+        params = make_params(2, 20, 8)
+        n = 50000
+        sketch = filled(params, random_hashes(77, n))
+        # Theoretical relative standard error ~2.26 %; allow 5 sigma.
+        assert sketch.estimate() == pytest.approx(n, rel=0.12)
+
+    def test_estimate_monotone_under_more_elements(self):
+        """More distinct elements never decrease the register values."""
+        params = make_params(2, 16, 4)
+        sketch = ExaLogLog.from_params(params)
+        previous = tuple(sketch.registers)
+        for h in random_hashes(5, 400):
+            sketch.add_hash(h)
+            current = tuple(sketch.registers)
+            assert all(c >= p for c, p in zip(current, previous))
+            previous = current
+
+    def test_state_change_probability_decreases(self):
+        sketch = ExaLogLog(2, 20, 4)
+        assert sketch.state_change_probability() == pytest.approx(1.0)
+        for h in random_hashes(6, 2000):
+            sketch.add_hash(h)
+        assert sketch.state_change_probability() < 0.5
+
+    def test_bias_correction_shrinks_estimate(self):
+        sketch = filled(make_params(2, 20, 4), random_hashes(9, 3000))
+        assert sketch.estimate(bias_correction=True) < sketch.estimate(
+            bias_correction=False
+        )
+
+
+class TestHashConsumption:
+    def test_different_seeds_give_different_states(self):
+        a = ExaLogLog(2, 20, 4)
+        b = ExaLogLog(2, 20, 4)
+        for i in range(100):
+            a.add(f"item-{i}", seed=0)
+            b.add(f"item-{i}", seed=1)
+        assert a != b

@@ -1,0 +1,126 @@
+"""Algorithm 3 coefficient extraction and the ML estimate."""
+
+import math
+
+import pytest
+
+from repro.core.exaloglog import ExaLogLog
+from repro.core.mlestimation import (
+    bias_correction_factor,
+    compute_coefficients,
+    estimate_from_coefficients,
+    ml_estimate,
+    solve_from_coefficients,
+)
+from repro.core.params import make_params
+from repro.core.register import alpha_contribution_scaled, beta_contribution
+from repro.estimation.likelihood import log_likelihood
+from tests.conftest import PAPER_PARAMS, SMALL_PARAMS, random_hashes
+
+
+def filled_registers(params, hashes):
+    sketch = ExaLogLog.from_params(params)
+    for h in hashes:
+        sketch.add_hash(h)
+    return list(sketch.registers)
+
+
+class TestCoefficients:
+    @pytest.mark.parametrize("params", SMALL_PARAMS, ids=str)
+    def test_matches_per_register_contributions(self, params):
+        registers = filled_registers(params, random_hashes(1, 2000))
+        coefficients = compute_coefficients(registers, params)
+        expected_alpha = sum(alpha_contribution_scaled(r, params) for r in registers)
+        assert coefficients.alpha_scaled == expected_alpha
+        expected_beta: dict[int, int] = {}
+        for r in registers:
+            for exponent in beta_contribution(r, params):
+                expected_beta[exponent] = expected_beta.get(exponent, 0) + 1
+        assert coefficients.beta == expected_beta
+
+    def test_empty_sketch(self):
+        params = make_params(2, 20, 4)
+        coefficients = compute_coefficients([0] * params.m, params)
+        assert coefficients.is_empty
+        assert coefficients.alpha == pytest.approx(params.m)
+
+    def test_saturated_sketch(self):
+        params = make_params(2, 6, 2)
+        saturated = (params.max_update_value << params.d) | ((1 << params.d) - 1)
+        coefficients = compute_coefficients([saturated] * params.m, params)
+        assert coefficients.is_saturated
+
+    @pytest.mark.parametrize("params", SMALL_PARAMS[:5], ids=str)
+    def test_beta_exponent_range(self, params):
+        registers = filled_registers(params, random_hashes(2, 5000))
+        coefficients = compute_coefficients(registers, params)
+        for exponent in coefficients.beta:
+            assert params.t + 1 <= exponent <= 64 - params.p
+
+
+class TestMLEstimate:
+    @pytest.mark.parametrize("params", PAPER_PARAMS, ids=str)
+    def test_root_maximises_likelihood(self, params):
+        registers = filled_registers(params, random_hashes(3, 3000))
+        coefficients = compute_coefficients(registers, params)
+        solution = solve_from_coefficients(coefficients, params)
+        nu = solution.nu
+        best = log_likelihood(nu, coefficients.alpha, coefficients.beta)
+        for factor in (0.9, 0.95, 1.05, 1.1):
+            assert log_likelihood(
+                nu * factor, coefficients.alpha, coefficients.beta
+            ) <= best + 1e-9
+
+    def test_estimate_zero_for_empty(self):
+        params = make_params(2, 20, 4)
+        assert ml_estimate([0] * params.m, params) == 0.0
+
+    def test_estimate_infinite_for_saturated(self):
+        params = make_params(2, 6, 2)
+        saturated = (params.max_update_value << params.d) | ((1 << params.d) - 1)
+        assert math.isinf(ml_estimate([saturated] * params.m, params))
+
+    def test_newton_iterations_bounded(self):
+        """Appendix A: never more than 10 iterations in practice."""
+        worst = 0
+        for seed, n in enumerate((1, 10, 100, 1000, 10000, 50000)):
+            params = make_params(2, 20, 6)
+            registers = filled_registers(params, random_hashes(seed, n))
+            coefficients = compute_coefficients(registers, params)
+            worst = max(worst, solve_from_coefficients(coefficients, params).iterations)
+        assert worst <= 10
+
+    @pytest.mark.parametrize("params", PAPER_PARAMS, ids=str)
+    def test_accuracy_at_moderate_n(self, params):
+        n = 20000
+        estimate = ml_estimate(filled_registers(params, random_hashes(7, n)), params)
+        assert estimate == pytest.approx(n, rel=0.12)
+
+
+class TestBiasCorrection:
+    def test_factor_below_one(self):
+        for params in PAPER_PARAMS:
+            assert 0.9 < bias_correction_factor(params) < 1.0
+
+    def test_factor_approaches_one_with_precision(self):
+        low = bias_correction_factor(make_params(2, 20, 4))
+        high = bias_correction_factor(make_params(2, 20, 12))
+        assert low < high < 1.0
+
+    def test_bias_correction_reduces_mean_error(self):
+        """Eq. (4): without the correction the ML estimate is biased high."""
+        params = make_params(2, 20, 4)
+        n = 3000
+        raw_errors = []
+        corrected_errors = []
+        for seed in range(40):
+            registers = filled_registers(params, random_hashes(seed + 500, n))
+            coefficients = compute_coefficients(registers, params)
+            raw = estimate_from_coefficients(coefficients, params, bias_correction=False)
+            corrected = estimate_from_coefficients(coefficients, params, True)
+            raw_errors.append(raw / n - 1.0)
+            corrected_errors.append(corrected / n - 1.0)
+        raw_mean = sum(raw_errors) / len(raw_errors)
+        corrected_mean = sum(corrected_errors) / len(corrected_errors)
+        assert abs(corrected_mean) < abs(raw_mean)
+        assert raw_mean > 0.0

@@ -1,0 +1,116 @@
+"""Parameter validation and derived quantities (paper Sec. 2.3-2.4)."""
+
+import pytest
+
+from repro.core.params import (
+    ExaLogLogParams,
+    ell_1_9,
+    ell_2_16,
+    ell_2_20,
+    ell_2_24,
+    hll_equivalent,
+    make_params,
+    pcsa_equivalent,
+    ull_equivalent,
+)
+
+
+class TestValidation:
+    def test_valid(self):
+        params = ExaLogLogParams(2, 20, 8)
+        assert params.m == 256
+
+    @pytest.mark.parametrize("t", [-1, 4])
+    def test_bad_t(self, t):
+        with pytest.raises(ValueError):
+            ExaLogLogParams(t, 4, 8)
+
+    @pytest.mark.parametrize("d", [-1, 65])
+    def test_bad_d(self, d):
+        with pytest.raises(ValueError):
+            ExaLogLogParams(2, d, 8)
+
+    @pytest.mark.parametrize("p", [0, 1, 27])
+    def test_bad_p(self, p):
+        with pytest.raises(ValueError):
+            ExaLogLogParams(2, 20, p)
+
+    def test_frozen(self):
+        params = make_params(2, 20, 8)
+        with pytest.raises(AttributeError):
+            params.t = 1  # type: ignore[misc]
+
+    def test_cached_identity(self):
+        assert make_params(2, 20, 8) is make_params(2, 20, 8)
+
+
+class TestDerived:
+    def test_register_bits_paper_configs(self):
+        """Sec. 2.4: 16 / 24 / 28 / 32-bit registers."""
+        assert ell_1_9(8).register_bits == 16
+        assert ell_2_16(8).register_bits == 24
+        assert ell_2_20(8).register_bits == 28
+        assert ell_2_24(8).register_bits == 32
+
+    def test_q_is_6_plus_t(self):
+        for t in range(4):
+            assert make_params(t, 0, 4).q == 6 + t
+
+    def test_base(self):
+        assert make_params(0, 0, 4).base == 2.0
+        assert make_params(2, 0, 4).base == pytest.approx(2.0 ** 0.25)
+
+    def test_operating_range_reaches_2_64(self):
+        """Sec. 2.3: b**(2**q) == 2**64 for q = 6 + t."""
+        for t in range(4):
+            params = make_params(t, 0, 4)
+            assert params.base ** (2 ** params.q) == pytest.approx(2.0 ** 64)
+
+    def test_max_update_value(self):
+        params = make_params(2, 20, 8)
+        assert params.max_update_value == (65 - 8 - 2) * 4
+
+    def test_max_update_value_fits_q_bits(self):
+        """Sec. 2.3: (65-p-t) 2**t <= 2**(6+t) - 1 for p >= 2."""
+        for t in range(4):
+            for p in (2, 8, 26):
+                params = make_params(t, 0, p)
+                assert params.max_update_value <= (1 << params.q) - 1
+
+    def test_dense_bytes_examples(self):
+        """Figure 8 captions: (t=2,d=20,p=4) -> 56 bytes, p=10 -> 3584."""
+        assert make_params(2, 20, 4).dense_bytes == 56
+        assert make_params(2, 20, 10).dense_bytes == 3584
+        assert make_params(1, 9, 4).dense_bytes == 32
+        assert make_params(2, 24, 10).dense_bytes == 4096
+
+    def test_special_cases(self):
+        assert hll_equivalent(8).register_bits == 6
+        assert ull_equivalent(8).register_bits == 8
+        assert pcsa_equivalent(8).d == 64
+
+    def test_max_register_value(self):
+        params = make_params(2, 6, 4)
+        top = params.max_update_value << 6 | 0b111111
+        assert params.max_register_value == top
+
+
+class TestReduced:
+    def test_reduced_ok(self):
+        params = make_params(2, 20, 8)
+        reduced = params.reduced(d=16, p=6)
+        assert (reduced.t, reduced.d, reduced.p) == (2, 16, 6)
+
+    def test_cannot_grow_d(self):
+        with pytest.raises(ValueError):
+            make_params(2, 20, 8).reduced(d=24)
+
+    def test_cannot_grow_p(self):
+        with pytest.raises(ValueError):
+            make_params(2, 20, 8).reduced(p=10)
+
+    def test_with_precision(self):
+        assert make_params(2, 20, 8).with_precision(4) == make_params(2, 20, 4)
+
+    def test_str(self):
+        assert str(make_params(2, 20, 8)) == "ELL(t=2, d=20, p=8)"

@@ -1,0 +1,110 @@
+"""Reducibility (paper Alg. 6): reduction must equal direct recording."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exaloglog import ExaLogLog
+from repro.core.params import make_params
+from repro.core.reduction import reduce_registers
+from tests.conftest import random_hashes
+
+hash_lists = st.lists(
+    st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=400
+)
+
+
+def filled(params, hashes):
+    sketch = ExaLogLog.from_params(params)
+    for h in hashes:
+        sketch.add_hash(h)
+    return sketch
+
+
+class TestReduceEqualsDirect:
+    """The paper's own validation strategy (Sec. 5): insert identical
+    elements into two differently configured sketches and compare after
+    reduction to common parameters."""
+
+    @pytest.mark.parametrize(
+        "t,d,p,d2,p2",
+        [
+            (2, 20, 8, 20, 8),   # no-op
+            (2, 20, 8, 16, 8),   # d only
+            (2, 20, 8, 20, 5),   # p only
+            (2, 20, 8, 12, 4),   # both
+            (2, 20, 8, 0, 3),    # down to d = 0
+            (1, 9, 7, 4, 3),
+            (0, 2, 8, 1, 4),     # ULL -> EHLL-style
+            (0, 2, 8, 0, 2),     # minimal target precision
+            (3, 5, 6, 2, 4),
+        ],
+    )
+    def test_matches_direct_recording(self, t, d, p, d2, p2):
+        hashes = random_hashes(hash((t, d, p, d2, p2)) & 0xFFFF, 3000)
+        big = filled(make_params(t, d, p), hashes)
+        small = filled(make_params(t, d2, p2), hashes)
+        assert big.reduce(d=d2, p=p2) == small
+
+    @given(hash_lists, st.integers(0, 16), st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_random_targets(self, hashes, d2, p2):
+        source = make_params(2, 16, 6)
+        target_d = min(d2, source.d)
+        target_p = min(p2, source.p)
+        big = filled(source, hashes)
+        small = filled(make_params(2, target_d, target_p), hashes)
+        assert big.reduce(d=target_d, p=target_p) == small
+
+    def test_reduction_near_saturation(self):
+        """Registers with maximal NLZ exercise Alg. 6's u >= a branch."""
+        params = make_params(2, 8, 6)
+        sketch = ExaLogLog.from_params(params)
+        direct = ExaLogLog(2, 8, 3)
+        # Hashes with long runs of leading zeros (tiny values).
+        for h in range(200):
+            sketch.add_hash(h)
+            direct.add_hash(h)
+        assert sketch.reduce(p=3) == direct
+
+
+class TestReduceProperties:
+    def test_two_step_equals_one_step(self):
+        hashes = random_hashes(12, 2000)
+        sketch = filled(make_params(2, 20, 8), hashes)
+        direct = sketch.reduce(d=10, p=4)
+        staged = sketch.reduce(d=16, p=6).reduce(d=10, p=4)
+        assert staged == direct
+
+    def test_reduce_then_merge_commutes(self):
+        hashes = random_hashes(13, 2000)
+        a = filled(make_params(2, 20, 8), hashes[:1200])
+        b = filled(make_params(2, 20, 8), hashes[800:])
+        reduced_then_merged = a.reduce(d=12, p=5).merge(b.reduce(d=12, p=5))
+        merged_then_reduced = a.merge(b).reduce(d=12, p=5)
+        assert reduced_then_merged == merged_then_reduced
+
+    def test_noop_returns_copy(self):
+        sketch = filled(make_params(2, 20, 5), random_hashes(14, 100))
+        clone = sketch.reduce()
+        assert clone == sketch
+        assert clone is not sketch
+
+    def test_estimates_consistent_after_reduction(self):
+        hashes = random_hashes(15, 20000)
+        sketch = filled(make_params(2, 20, 9), hashes)
+        reduced = sketch.reduce(p=6)
+        assert reduced.estimate() == pytest.approx(20000, rel=0.25)
+
+    def test_rejects_growth(self):
+        sketch = ExaLogLog(2, 16, 6)
+        with pytest.raises(ValueError):
+            sketch.reduce(d=20)
+        with pytest.raises(ValueError):
+            sketch.reduce(p=8)
+
+    def test_raw_register_validation(self):
+        with pytest.raises(ValueError):
+            reduce_registers([0] * 3, 2, 20, 8, 16, 4)  # wrong register count
+        with pytest.raises(ValueError):
+            reduce_registers([0] * 4, 2, 4, 2, 8, 2)  # d grows

@@ -1,0 +1,112 @@
+"""Set-operation estimators."""
+
+import pytest
+
+from repro.core.exaloglog import ExaLogLog
+from repro.setops import (
+    containment_estimate,
+    difference_estimate,
+    intersection_estimate,
+    jaccard_estimate,
+    union_estimate,
+)
+
+
+def sketch_of(keys, p=10):
+    sketch = ExaLogLog(2, 20, p)
+    for key in keys:
+        sketch.add(key)
+    return sketch
+
+
+@pytest.fixture(scope="module")
+def overlapping():
+    a = sketch_of(f"k{i}" for i in range(20000))
+    b = sketch_of(f"k{i}" for i in range(10000, 40000))
+    return a, b  # |A|=20k, |B|=30k, |AnB|=10k, |AuB|=40k
+
+
+class TestUnion:
+    def test_value(self, overlapping):
+        a, b = overlapping
+        assert union_estimate(a, b) == pytest.approx(40000, rel=0.06)
+
+    def test_symmetry(self, overlapping):
+        a, b = overlapping
+        assert union_estimate(a, b) == union_estimate(b, a)
+
+    def test_self_union(self, overlapping):
+        a, _ = overlapping
+        assert union_estimate(a, a) == pytest.approx(a.estimate())
+
+
+class TestIntersection:
+    def test_value(self, overlapping):
+        a, b = overlapping
+        assert intersection_estimate(a, b) == pytest.approx(10000, rel=0.3)
+
+    def test_disjoint_near_zero(self):
+        a = sketch_of(f"a{i}" for i in range(5000))
+        b = sketch_of(f"b{i}" for i in range(5000))
+        assert intersection_estimate(a, b) < 1500  # absolute-error regime
+
+    def test_clamped_nonnegative(self):
+        a = sketch_of(["x"])
+        b = sketch_of(["y"])
+        assert intersection_estimate(a, b) >= 0.0
+
+
+class TestDifference:
+    def test_value(self, overlapping):
+        a, b = overlapping
+        assert difference_estimate(a, b) == pytest.approx(10000, rel=0.35)
+
+    def test_empty_difference(self, overlapping):
+        a, _ = overlapping
+        assert difference_estimate(a, a) == 0.0
+
+
+class TestJaccard:
+    def test_value(self, overlapping):
+        a, b = overlapping
+        assert jaccard_estimate(a, b) == pytest.approx(0.25, abs=0.08)
+
+    def test_identical_sets(self, overlapping):
+        a, _ = overlapping
+        assert jaccard_estimate(a, a) == pytest.approx(1.0, abs=1e-9)
+
+    def test_both_empty(self):
+        assert jaccard_estimate(ExaLogLog(2, 20, 4), ExaLogLog(2, 20, 4)) == 1.0
+
+    def test_range(self, overlapping):
+        a, b = overlapping
+        assert 0.0 <= jaccard_estimate(a, b) <= 1.0
+
+
+class TestContainment:
+    def test_subset_near_one(self):
+        a = sketch_of((f"k{i}" for i in range(5000)), p=11)
+        b = sketch_of((f"k{i}" for i in range(20000)), p=11)
+        assert containment_estimate(a, b) == pytest.approx(1.0, abs=0.15)
+
+    def test_disjoint_near_zero(self):
+        a = sketch_of((f"a{i}" for i in range(10000)), p=11)
+        b = sketch_of((f"b{i}" for i in range(10000)), p=11)
+        assert containment_estimate(a, b) < 0.2
+
+
+class TestValidation:
+    def test_different_t_rejected(self):
+        with pytest.raises(ValueError):
+            union_estimate(ExaLogLog(2, 20, 4), ExaLogLog(1, 9, 4))
+
+    def test_type_rejected(self):
+        with pytest.raises(TypeError):
+            union_estimate(ExaLogLog(2, 20, 4), "nope")  # type: ignore[arg-type]
+
+    def test_mixed_precisions_allowed(self):
+        a = sketch_of((f"k{i}" for i in range(5000)), p=10)
+        b = ExaLogLog(2, 16, 8)
+        for i in range(2500, 7500):
+            b.add(f"k{i}")
+        assert union_estimate(a, b) == pytest.approx(7500, rel=0.15)

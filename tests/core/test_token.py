@@ -1,0 +1,147 @@
+"""Hash tokens (paper Sec. 4.3, Alg. 7)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exaloglog import ExaLogLog
+from repro.core.params import make_params
+from repro.core.token import (
+    estimate_from_tokens,
+    hash_to_token,
+    rho_token,
+    token_bits,
+    token_bytes,
+    token_coefficients,
+    token_to_hash,
+)
+from tests.conftest import random_hashes
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestTokenMapping:
+    def test_token_bits(self):
+        assert token_bits(26) == 32
+        assert token_bytes(26) == 4
+        assert token_bytes(10) == 2
+
+    def test_v_bounds(self):
+        with pytest.raises(ValueError):
+            hash_to_token(0, 0)
+        with pytest.raises(ValueError):
+            hash_to_token(0, 59)
+
+    @given(u64, st.sampled_from([1, 6, 10, 26, 58]))
+    @settings(max_examples=200)
+    def test_token_range(self, h, v):
+        token = hash_to_token(h, v)
+        assert 0 <= token < (1 << (v + 6))
+        assert token & 63 <= 64 - v
+
+    @given(u64, st.sampled_from([6, 10, 26]))
+    @settings(max_examples=200)
+    def test_tokenisation_idempotent_through_reconstruction(self, h, v):
+        """token(reconstruct(token(h))) == token(h)."""
+        token = hash_to_token(h, v)
+        assert hash_to_token(token_to_hash(token, v), v) == token
+
+    @given(u64, u64)
+    @settings(max_examples=150)
+    def test_equal_hashes_equal_tokens(self, a, b):
+        v = 26
+        if a == b:
+            assert hash_to_token(a, v) == hash_to_token(b, v)
+
+    def test_reconstruction_validation(self):
+        with pytest.raises(ValueError):
+            token_to_hash((64 - 6 + 1), 10)  # NLZ field too large for v
+
+
+class TestInsertionEquivalence:
+    """Sec. 4.3: reconstructed hashes are equivalent for insertion into
+    any ELL sketch with p + t <= v."""
+
+    @pytest.mark.parametrize(
+        "params,v",
+        [
+            (make_params(2, 20, 8), 26),
+            (make_params(2, 20, 8), 10),   # exactly p + t = v
+            (make_params(1, 9, 5), 6),
+            (make_params(0, 2, 6), 8),
+        ],
+        ids=lambda x: str(x),
+    )
+    def test_state_equality(self, params, v):
+        hashes = random_hashes(21, 3000)
+        direct = ExaLogLog.from_params(params)
+        via_tokens = ExaLogLog.from_params(params)
+        for h in hashes:
+            direct.add_hash(h)
+            via_tokens.add_hash(token_to_hash(hash_to_token(h, v), v))
+        assert direct == via_tokens
+
+
+class TestTokenPmf:
+    @pytest.mark.parametrize("v", [1, 4, 6, 10])
+    def test_normalised(self, v):
+        """Eq. (25): the token PMF sums to one over all tokens."""
+        total = sum(rho_token(w, v) for w in range(1 << (v + 6)))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_invalid_tokens_zero(self):
+        v = 10
+        # NLZ field larger than 64 - v cannot occur.
+        impossible = ((1 << v) - 1) << 6 | (64 - v + 1)
+        assert rho_token(impossible, v) == 0.0
+
+    def test_empirical_token_distribution(self):
+        import collections
+        import random as pyrandom
+
+        v = 3  # tiny so every token accumulates counts (but >= MIN_V)
+        generator = pyrandom.Random(2)
+        counts: collections.Counter = collections.Counter()
+        samples = 200000
+        for _ in range(samples):
+            counts[hash_to_token(generator.getrandbits(64), v)] += 1
+        for token, count in counts.most_common(8):
+            assert count / samples == pytest.approx(rho_token(token, v), rel=0.05)
+
+
+class TestTokenEstimation:
+    def test_coefficients_alpha_range(self):
+        hashes = random_hashes(5, 1000)
+        tokens = {hash_to_token(h, 26) for h in hashes}
+        alpha, beta = token_coefficients(tokens, 26)
+        assert 0.0 < alpha <= 1.0
+        assert sum(beta.values()) == len(tokens)
+
+    def test_empty_set_estimates_zero(self):
+        assert estimate_from_tokens([], 26) == 0.0
+
+    @pytest.mark.parametrize("v", [10, 18, 26])
+    @pytest.mark.parametrize("n", [1, 10, 100, 2000])
+    def test_estimate_accuracy(self, v, n):
+        hashes = random_hashes(n * 31 + v, n)
+        tokens = {hash_to_token(h, v) for h in hashes}
+        estimate = estimate_from_tokens(tokens, v)
+        # Figure 9: token error is tiny for n far below 2**v.
+        sigma = max(3.0 * math.sqrt(n * n / (2 ** v)) + 3.0, 0.05 * n)
+        assert abs(estimate - n) <= sigma
+
+    def test_estimate_better_than_matched_sketch(self):
+        """Sec. 5.1: token sets behave like an ELL with d -> infinity, so
+        the error should not exceed that of a matching sketch setup."""
+        n = 5000
+        v = 12
+        errors_tokens = []
+        for seed in range(20):
+            hashes = random_hashes(seed, n)
+            tokens = {hash_to_token(h, v) for h in hashes}
+            errors_tokens.append(estimate_from_tokens(tokens, v) / n - 1.0)
+        rmse = math.sqrt(sum(e * e for e in errors_tokens) / len(errors_tokens))
+        # RMSE for v=12 at n=5000 is ~1.1 % in Figure 9; allow slack.
+        assert rmse < 0.03

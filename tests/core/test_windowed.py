@@ -1,0 +1,80 @@
+"""Sliding-window distinct counting."""
+
+import pytest
+
+from repro.windowed import SlidingWindowDistinctCounter
+
+
+class TestBasics:
+    def test_empty(self):
+        counter = SlidingWindowDistinctCounter(window=60.0)
+        assert counter.estimate(now=100.0) == 0.0
+
+    def test_single_bucket_counts(self):
+        counter = SlidingWindowDistinctCounter(window=60.0, buckets=6, p=10)
+        for i in range(1000):
+            counter.add(f"user-{i}", at=5.0)
+        assert counter.estimate(now=5.0) == pytest.approx(1000, rel=0.1)
+
+    def test_duplicates_across_buckets_not_double_counted(self):
+        counter = SlidingWindowDistinctCounter(window=60.0, buckets=6, p=10)
+        for at in (0.0, 15.0, 30.0, 45.0):
+            for i in range(500):
+                counter.add(f"user-{i}", at=at)
+        assert counter.estimate(now=45.0) == pytest.approx(500, rel=0.1, abs=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDistinctCounter(window=0.0)
+        with pytest.raises(ValueError):
+            SlidingWindowDistinctCounter(window=10.0, buckets=0)
+
+
+class TestExpiry:
+    def test_old_items_leave_the_window(self):
+        counter = SlidingWindowDistinctCounter(window=60.0, buckets=6, p=10)
+        for i in range(1000):
+            counter.add(f"old-{i}", at=0.0)
+        for i in range(100):
+            counter.add(f"new-{i}", at=300.0)
+        assert counter.estimate(now=300.0) == pytest.approx(100, rel=0.15, abs=3)
+
+    def test_memory_bounded(self):
+        counter = SlidingWindowDistinctCounter(window=60.0, buckets=4, p=6)
+        for step in range(200):
+            counter.add(f"item-{step}", at=float(step * 10))
+        assert counter.active_buckets <= 5
+        assert counter.memory_bytes <= 5 * (16 + 224)
+
+    def test_partial_expiry(self):
+        """Items age out bucket by bucket."""
+        counter = SlidingWindowDistinctCounter(window=40.0, buckets=4, p=10)
+        for i in range(400):
+            counter.add(f"a-{i}", at=5.0)   # bucket 0
+        for i in range(400):
+            counter.add(f"b-{i}", at=35.0)  # bucket 3
+        # At now=45 bucket 0 has left the window (buckets 1..4).
+        assert counter.estimate(now=45.0) == pytest.approx(400, rel=0.15)
+        # At now=35 both are covered.
+        assert counter.estimate(now=35.0) == pytest.approx(800, rel=0.12)
+
+
+class TestQueries:
+    def test_per_bucket_breakdown(self):
+        counter = SlidingWindowDistinctCounter(window=30.0, buckets=3, p=10)
+        for i in range(300):
+            counter.add(f"x-{i}", at=1.0)
+        for i in range(600):
+            counter.add(f"y-{i}", at=11.0)
+        breakdown = dict(counter.estimate_per_bucket(now=21.0))
+        assert breakdown[0] == pytest.approx(300, rel=0.15)
+        assert breakdown[1] == pytest.approx(600, rel=0.15)
+
+    def test_out_of_order_arrival(self):
+        counter = SlidingWindowDistinctCounter(window=30.0, buckets=3, p=10)
+        counter.add("late", at=25.0)
+        counter.add("early", at=5.0)
+        assert counter.estimate(now=25.0) == pytest.approx(2.0, abs=0.5)
+
+    def test_repr(self):
+        assert "active=0" in repr(SlidingWindowDistinctCounter(window=10.0))

@@ -1,0 +1,55 @@
+"""Likelihood-shape helpers."""
+
+import math
+
+import pytest
+
+from repro.estimation.likelihood import (
+    f_transformed,
+    log_likelihood,
+    log_likelihood_derivative,
+)
+
+
+class TestLogLikelihood:
+    def test_empty_beta_at_zero(self):
+        assert log_likelihood(0.0, 1.0, {}) == 0.0
+
+    def test_nonempty_beta_at_zero_is_minus_inf(self):
+        assert log_likelihood(0.0, 1.0, {3: 1}) == -math.inf
+
+    def test_rejects_negative_nu(self):
+        with pytest.raises(ValueError):
+            log_likelihood(-1.0, 1.0, {})
+
+    def test_derivative_matches_finite_difference(self):
+        alpha, beta = 2.0, {3: 4, 6: 2}
+        nu = 17.0
+        h = 1e-6
+        numeric = (
+            log_likelihood(nu + h, alpha, beta) - log_likelihood(nu - h, alpha, beta)
+        ) / (2 * h)
+        assert log_likelihood_derivative(nu, alpha, beta) == pytest.approx(
+            numeric, rel=1e-5
+        )
+
+    def test_concave_in_nu(self):
+        alpha, beta = 1.0, {2: 3, 5: 1}
+        nus = [0.5 * 1.5 ** i for i in range(15)]
+        derivatives = [log_likelihood_derivative(nu, alpha, beta) for nu in nus]
+        assert all(b <= a + 1e-12 for a, b in zip(derivatives, derivatives[1:]))
+
+
+class TestTransformed:
+    def test_f_zero_at_origin_matches_minus_beta_sum(self):
+        beta = {3: 4, 5: 2}
+        assert f_transformed(0.0, 1.0, beta) == pytest.approx(-6.0)
+
+    def test_f_sign_change_brackets_root(self):
+        alpha, beta = 1.0, {3: 10}
+        assert f_transformed(0.0, alpha, beta) < 0
+        assert f_transformed(100.0, alpha, beta) > 0
+
+    def test_rejects_negative_x(self):
+        with pytest.raises(ValueError):
+            f_transformed(-0.5, 1.0, {3: 1})

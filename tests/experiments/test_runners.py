@@ -1,0 +1,114 @@
+"""Smoke tests: every experiment runner produces sane rows at tiny scale."""
+
+import math
+
+import pytest
+
+from repro.experiments import figure1, figure2, figure4to7, figure8, figure9, table2
+from repro.experiments.common import env_int, format_table
+from repro.experiments.suite import figure10_suite, figure11_suite, table2_suite
+
+
+class TestCommon:
+    def test_env_int(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "17")
+        assert env_int("REPRO_TEST_KNOB", 5) == 17
+        assert env_int("REPRO_MISSING_KNOB", 5) == 5
+        monkeypatch.setenv("REPRO_TEST_KNOB", "xyz")
+        with pytest.raises(ValueError):
+            env_int("REPRO_TEST_KNOB", 5)
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}])
+        assert "a" in text and "10" in text
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestFigure1:
+    def test_memory_monotone_in_mvp(self):
+        rows = figure1.run()
+        for row in rows:
+            assert row["MVP=8_bytes"] > row["MVP=2_bytes"]
+
+    def test_eq1_inverse_square(self):
+        rows = figure1.run()
+        first, last = rows[0], rows[-1]
+        ratio = first["MVP=4_bytes"] / last["MVP=4_bytes"]
+        assert ratio == pytest.approx((5.0 / 1.0) ** 2)
+
+
+class TestFigure2:
+    def test_chunk_identity_rows(self):
+        for t in (1, 2):
+            for row in figure2.chunk_check(t):
+                assert row["geometric_sum"] == pytest.approx(row["expected_2^-(c+1)"])
+                assert row["approximate_sum"] == pytest.approx(row["expected_2^-(c+1)"])
+
+
+class TestFigure4to7:
+    def test_named_points_match_paper(self):
+        rows = {row["config"]: row for row in figure4to7.named_points()}
+        assert rows["ELL(2,20)"]["dense_ml"] == pytest.approx(3.67, abs=0.01)
+        assert rows["ELL(2,20)"]["saving_vs_hll_%"] == pytest.approx(43.0, abs=0.5)
+        assert rows["ELL(2,16)"]["dense_martingale"] == pytest.approx(2.77, abs=0.01)
+
+    def test_sweep_contains_all_t(self):
+        rows = figure4to7.sweep("figure4", d_step=8)
+        assert set(rows[0]) == {"d", "t=0", "t=1", "t=2", "t=3"}
+
+    def test_minima(self):
+        minima = {row["t"]: row for row in figure4to7.minima("figure4")}
+        assert minima[2]["optimal_d"] == 20
+
+
+class TestFigure8Tiny:
+    def test_single_panel_runs(self):
+        evaluation = figure8.run_panel(2, 20, 4, runs=4, per_decade=1)
+        assert evaluation.runs == 4
+        rows = figure8.panel_rows(evaluation)
+        assert rows[0]["n"] == 1.0
+        assert all(math.isfinite(row["ml_rmse"]) for row in rows)
+
+
+class TestFigure9Tiny:
+    def test_single_v_runs(self):
+        rows = figure9.run_v(10, runs=3, n_max=1000)
+        assert rows[-1]["n"] == 1000
+        for row in rows:
+            assert abs(row["bias"]) < 0.5
+
+
+class TestTable2Tiny:
+    def test_rows_complete_and_ordered(self):
+        rows = table2.run(n=2000, runs=3)
+        assert len(rows) == len(table2_suite())
+        mvps = [row["mvp_memory"] for row in rows]
+        assert mvps == sorted(mvps, reverse=True)
+        for row in rows:
+            assert row["serialized_bytes"] > 0
+            assert 0 < row["rmse_%"] < 50
+
+
+class TestSuites:
+    def test_suite_names_unique(self):
+        names = [spec.name for spec in figure11_suite()]
+        assert len(names) == len(set(names))
+
+    def test_loaders_match_factories(self):
+        """Batch loaders must produce the same estimates as sequential
+        insertion for every algorithm in the suite."""
+        import numpy as np
+
+        rng = np.random.Generator(np.random.PCG64(3)).integers(
+            0, 1 << 64, size=2000, dtype=np.uint64
+        )
+        for spec in figure10_suite():
+            batch = spec.from_hashes(rng)
+            sequential = spec.factory()
+            for h in rng.tolist():
+                sequential.add_hash(h)
+            assert batch.estimate() == pytest.approx(
+                sequential.estimate(), rel=1e-9
+            ), spec.name

@@ -1,0 +1,120 @@
+"""Tests for the 64-bit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.bits import (
+    MASK64,
+    bit_reverse64,
+    bit_slice,
+    nlz64,
+    ntz64,
+    rotl32,
+    rotl64,
+    rotr64,
+    to_signed64,
+    to_unsigned64,
+)
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestNlz64:
+    def test_zero(self):
+        assert nlz64(0) == 64
+
+    def test_one(self):
+        assert nlz64(1) == 63
+
+    def test_msb(self):
+        assert nlz64(1 << 63) == 0
+
+    def test_paper_table1_example(self):
+        assert nlz64(0b10110) == 59
+
+    def test_all_powers_of_two(self):
+        for bit in range(64):
+            assert nlz64(1 << bit) == 63 - bit
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            nlz64(-1)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            nlz64(1 << 64)
+
+    @given(u64)
+    def test_matches_bit_length(self, x):
+        assert nlz64(x) == 64 - x.bit_length()
+
+
+class TestNtz64:
+    def test_zero(self):
+        assert ntz64(0) == 64
+
+    def test_one(self):
+        assert ntz64(1) == 0
+
+    def test_msb(self):
+        assert ntz64(1 << 63) == 63
+
+    @given(u64.filter(lambda x: x != 0))
+    def test_definition(self, x):
+        count = ntz64(x)
+        assert (x >> count) & 1 == 1
+        assert x & ((1 << count) - 1) == 0
+
+
+class TestRotations:
+    @given(u64, st.integers(min_value=0, max_value=200))
+    def test_rotl_rotr_inverse(self, x, r):
+        assert rotr64(rotl64(x, r), r) == x
+
+    @given(u64)
+    def test_rotl_zero_is_identity(self, x):
+        assert rotl64(x, 0) == x
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_rotl_preserves_popcount(self, x, r):
+        assert bin(rotl64(x, r)).count("1") == bin(x).count("1")
+
+    def test_rotl64_wraps(self):
+        assert rotl64(1 << 63, 1) == 1
+
+    def test_rotl32_wraps(self):
+        assert rotl32(1 << 31, 1) == 1
+
+
+class TestSignedness:
+    def test_to_signed_negative(self):
+        assert to_signed64(MASK64) == -1
+
+    def test_to_signed_positive(self):
+        assert to_signed64(5) == 5
+
+    @given(u64)
+    def test_roundtrip(self, x):
+        assert to_unsigned64(to_signed64(x)) == x
+
+
+class TestBitSlice:
+    def test_basic(self):
+        assert bit_slice(0b110110, 1, 3) == 0b011
+
+    def test_zero_width(self):
+        assert bit_slice(12345, 3, 0) == 0
+
+    @given(u64, st.integers(0, 63), st.integers(0, 64))
+    def test_range(self, x, low, width):
+        assert 0 <= bit_slice(x, low, width) < (1 << width) if width else True
+
+
+class TestBitReverse:
+    def test_involution_examples(self):
+        for x in (0, 1, MASK64, 0x8000000000000001, 0x0123456789ABCDEF):
+            assert bit_reverse64(bit_reverse64(x)) == x
+
+    def test_one_maps_to_msb(self):
+        assert bit_reverse64(1) == 1 << 63

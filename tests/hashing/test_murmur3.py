@@ -1,0 +1,74 @@
+"""MurmurHash3 tests: published x86-32 vectors + structural properties."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.murmur3 import murmur3_64, murmur3_x64_128, murmur3_x86_32
+
+
+class TestX86_32Vectors:
+    """Widely published reference vectors for the 32-bit variant, which
+    shares tail handling and finalization structure with the 128-bit one."""
+
+    def test_empty_seed0(self):
+        assert murmur3_x86_32(b"", 0) == 0x00000000
+
+    def test_empty_seed1(self):
+        assert murmur3_x86_32(b"", 1) == 0x514E28B7
+
+    def test_empty_seed_ffffffff(self):
+        assert murmur3_x86_32(b"", 0xFFFFFFFF) == 0x81F16F39
+
+    def test_incremental_lengths_differ(self):
+        digests = {murmur3_x86_32(b"a" * i, 0) for i in range(32)}
+        assert len(digests) == 32
+
+
+class TestX64_128:
+    def test_empty_seed0_is_zero(self):
+        # h1 = h2 = 0, no blocks, fmix64(0) == 0 -> (0, 0).
+        assert murmur3_x64_128(b"", 0) == (0, 0)
+
+    def test_deterministic(self):
+        assert murmur3_x64_128(b"hello world") == murmur3_x64_128(b"hello world")
+
+    def test_seed_changes_output(self):
+        assert murmur3_x64_128(b"hello", 0) != murmur3_x64_128(b"hello", 1)
+
+    @given(st.binary(max_size=64))
+    def test_output_ranges(self, data):
+        h1, h2 = murmur3_x64_128(data)
+        assert 0 <= h1 < 1 << 64
+        assert 0 <= h2 < 1 << 64
+
+    def test_all_tail_lengths(self):
+        """Every tail length 0..16 takes a distinct code path."""
+        digests = {murmur3_x64_128(b"x" * i, 7) for i in range(40)}
+        assert len(digests) == 40
+
+    def test_block_boundary_sensitivity(self):
+        base = b"0123456789abcdef" * 2  # two full 16-byte blocks
+        assert murmur3_x64_128(base) != murmur3_x64_128(base[:-1] + b"g")
+
+    def test_avalanche(self):
+        flips = 0
+        samples = 100
+        for i in range(samples):
+            data = i.to_bytes(8, "little")
+            tweaked = (i ^ 1).to_bytes(8, "little")
+            flips += bin(murmur3_64(data) ^ murmur3_64(tweaked)).count("1")
+        assert 24 < flips / samples < 40
+
+    def test_uniformity_of_low_bits(self):
+        """Low 8 bits should be close to uniform over many inputs."""
+        buckets = [0] * 256
+        for i in range(25600):
+            buckets[murmur3_64(i.to_bytes(8, "little")) & 0xFF] += 1
+        expected = 100
+        chi2 = sum((c - expected) ** 2 / expected for c in buckets)
+        # 255 dof; mean 255, sd ~22.6; allow generous 5-sigma band.
+        assert chi2 < 400
+
+    def test_murmur3_64_is_low_lane(self):
+        data = b"The quick brown fox"
+        assert murmur3_64(data, 5) == murmur3_x64_128(data, 5)[0]

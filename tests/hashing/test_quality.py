@@ -1,0 +1,53 @@
+"""SMHasher-lite quality battery on the from-scratch hash functions.
+
+These assertions substantiate the paper's Sec. 5.1 premise that hash
+outputs behave like uniform random values (which the simulation
+methodology depends on).
+"""
+
+import pytest
+
+from repro.hashing import murmur3_64, xxhash64
+from repro.hashing.quality import (
+    avalanche_test,
+    bucket_chi_square,
+    collision_estimate,
+    nlz_geometric_deviation,
+)
+from repro.hashing.splitmix64 import splitmix64_mix
+
+HASHES = {
+    "murmur3": murmur3_64,
+    "xxhash64": xxhash64,
+    "splitmix64": lambda data: splitmix64_mix(int.from_bytes(data[:8], "little")),
+}
+
+
+@pytest.mark.parametrize("name", sorted(HASHES), ids=str)
+class TestQualityBattery:
+    def test_avalanche(self, name):
+        report = avalanche_test(HASHES[name], samples=120)
+        assert 28.0 < report.mean_flips < 36.0
+        assert report.worst_bias < 0.2  # 120 samples -> sd ~0.046 per cell
+
+    def test_bucket_uniformity(self, name):
+        # 255 dof: mean 255, sd ~22.6; allow 5 sigma.
+        statistic = bucket_chi_square(HASHES[name], buckets_log2=8, samples=40000)
+        assert statistic < 255 + 5 * 23
+
+    def test_nlz_geometric(self, name):
+        assert nlz_geometric_deviation(HASHES[name], samples=40000) < 0.25
+
+    def test_no_collisions(self, name):
+        assert collision_estimate(HASHES[name], samples=100000) == 0
+
+
+def test_quality_battery_detects_a_bad_hash():
+    """Sanity: the battery must flag an obviously broken hash."""
+
+    def terrible(data: bytes) -> int:
+        return int.from_bytes(data[:8], "little") * 3  # linear, no mixing
+
+    report = avalanche_test(terrible, samples=60)
+    statistic = bucket_chi_square(terrible, buckets_log2=8, samples=20000)
+    assert report.mean_flips < 28.0 or report.worst_bias > 0.2 or statistic > 400

@@ -1,0 +1,73 @@
+"""SplitMix64 against its published test vectors and basic statistics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.bits import MASK64
+from repro.hashing.splitmix64 import SplitMix64, splitmix64_at, splitmix64_mix
+
+#: First outputs of the reference implementation for seed 0.
+SEED0_OUTPUTS = (0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F)
+
+
+class TestVectors:
+    def test_seed0_sequence(self):
+        generator = SplitMix64(0)
+        for expected in SEED0_OUTPUTS:
+            assert generator.next_u64() == expected
+
+    def test_random_access_matches_sequence(self):
+        generator = SplitMix64(12345)
+        sequential = [generator.next_u64() for _ in range(10)]
+        indexed = [splitmix64_at(12345, i) for i in range(10)]
+        assert sequential == indexed
+
+
+class TestMix:
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_output_in_range(self, x):
+        assert 0 <= splitmix64_mix(x) <= MASK64
+
+    def test_bijection_no_collisions_sample(self):
+        outputs = {splitmix64_mix(i) for i in range(10000)}
+        assert len(outputs) == 10000
+
+    def test_avalanche(self):
+        """Flipping one input bit flips roughly half the output bits."""
+        total_flips = 0
+        samples = 200
+        for i in range(samples):
+            base = splitmix64_mix(i * 0x9E3779B97F4A7C15)
+            flipped = splitmix64_mix((i * 0x9E3779B97F4A7C15) ^ 1)
+            total_flips += bin(base ^ flipped).count("1")
+        average = total_flips / samples
+        assert 24 < average < 40
+
+
+class TestGenerator:
+    def test_next_double_range(self):
+        generator = SplitMix64(7)
+        for _ in range(1000):
+            value = generator.next_double()
+            assert 0.0 <= value < 1.0
+
+    def test_next_below_range(self):
+        generator = SplitMix64(7)
+        for _ in range(1000):
+            assert 0 <= generator.next_below(13) < 13
+
+    def test_next_below_rejects_nonpositive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SplitMix64(0).next_below(0)
+
+    def test_fork_independence(self):
+        parent = SplitMix64(99)
+        child = parent.fork()
+        assert child.next_u64() != parent.next_u64()
+
+    def test_mean_is_centered(self):
+        generator = SplitMix64(3)
+        mean = sum(generator.next_double() for _ in range(20000)) / 20000
+        assert abs(mean - 0.5) < 0.01

@@ -1,0 +1,42 @@
+"""XXH64 tests: the published empty-input vector + structural properties."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.xxhash64 import xxhash64
+
+
+class TestVectors:
+    def test_empty_seed0(self):
+        assert xxhash64(b"", 0) == 0xEF46DB3751D8E999
+
+
+class TestStructure:
+    def test_deterministic(self):
+        data = b"xxhash test input"
+        assert xxhash64(data, 3) == xxhash64(data, 3)
+
+    def test_seed_sensitivity(self):
+        assert xxhash64(b"abc", 0) != xxhash64(b"abc", 1)
+
+    @given(st.binary(max_size=100))
+    def test_range(self, data):
+        assert 0 <= xxhash64(data) < 1 << 64
+
+    def test_all_length_paths(self):
+        """Lengths 0..64 cover the <32 path, 8/4/1-byte tails, and blocks."""
+        digests = {xxhash64(b"q" * i) for i in range(65)}
+        assert len(digests) == 65
+
+    def test_avalanche(self):
+        flips = 0
+        samples = 100
+        for i in range(samples):
+            a = xxhash64(i.to_bytes(8, "little"))
+            b = xxhash64((i ^ 1).to_bytes(8, "little"))
+            flips += bin(a ^ b).count("1")
+        assert 24 < flips / samples < 40
+
+    def test_long_input_block_path(self):
+        data = bytes(range(256)) * 4
+        assert xxhash64(data) != xxhash64(data[:-1])

@@ -1,0 +1,105 @@
+"""Concurrency model checks (paper Sec. 2.4's CAS remark).
+
+Sec. 2.4 recommends ELL(2, 24) because its 32-bit registers suit
+compare-and-swap updates. CPython cannot exercise real CAS, but the
+*algebraic* property that makes lock-free updates correct is testable:
+the register update is a join (max-like) on a lattice — monotone,
+commutative, idempotent — so a CAS retry loop converges to the same state
+regardless of interleaving. We simulate interleaved writers with explicit
+read-modify-write races and retries.
+"""
+
+import random
+
+import pytest
+
+from repro.core.exaloglog import ExaLogLog
+from repro.core.register import merge as merge_register
+from repro.core.register import update as update_register
+from tests.conftest import random_hashes
+
+
+class SimulatedCasRegisterArray:
+    """A register array updated only through (simulated) CAS."""
+
+    def __init__(self, m: int):
+        self.values = [0] * m
+        self.retries = 0
+
+    def cas(self, index: int, expected: int, new: int) -> bool:
+        if self.values[index] != expected:
+            return False
+        self.values[index] = new
+        return True
+
+
+def cas_insert(array, params, hash_value, interleave) -> None:
+    """The Sec. 2.4 CAS loop: read, compute Alg. 2 transition, CAS, retry."""
+    t, d = params.t, params.d
+    index = (hash_value >> t) & (params.m - 1)
+    masked = hash_value | ((1 << (params.p + t)) - 1)
+    k = ((64 - masked.bit_length()) << t) + (hash_value & ((1 << t) - 1)) + 1
+    while True:
+        current = array.values[index]
+        new = update_register(current, k, d)
+        if new == current:
+            return
+        interleave()  # another "thread" may write between read and CAS
+        if array.cas(index, current, new):
+            return
+        array.retries += 1
+
+
+class TestCasConvergence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_interleaved_writers_converge_to_sequential_state(self, seed):
+        params = ExaLogLog(2, 24, 4).params
+        hashes = random_hashes(seed, 4000)
+        rng = random.Random(seed)
+
+        array = SimulatedCasRegisterArray(params.m)
+        pending = list(hashes)
+
+        def interleave():
+            # With some probability, a competing writer sneaks in a full
+            # insert between our read and our CAS.
+            if pending and rng.random() < 0.25:
+                competitor = pending.pop()
+                cas_insert(array, params, competitor, lambda: None)
+
+        while pending:
+            cas_insert(array, params, pending.pop(), interleave)
+
+        reference = ExaLogLog.from_params(params)
+        for h in hashes:
+            reference.add_hash(h)
+        assert array.values == list(reference.registers)
+        # The interleaving must actually have caused contention for the
+        # test to be meaningful.
+        assert array.retries > 0
+
+    def test_update_is_a_lattice_join(self):
+        """update(r, k) == merge(r, singleton(k)): the CAS-correctness core."""
+        d = 6
+        rng = random.Random(7)
+        register = 0
+        for _ in range(200):
+            k = rng.randint(1, 40)
+            singleton = update_register(0, k, d)
+            assert update_register(register, k, d) == merge_register(
+                register, singleton, d
+            )
+            register = update_register(register, k, d)
+
+    def test_lost_update_would_be_detected(self):
+        """Sanity: naive unsynchronised writes *do* lose updates, which is
+        exactly what the CAS loop prevents."""
+        params = ExaLogLog(2, 24, 2).params
+        d = params.d
+        # Two writers read the same register value, both write blindly.
+        r0 = 0
+        write_a = update_register(r0, 10, d)
+        write_b = update_register(r0, 7, d)
+        last_write_wins = write_b  # writer B overwrites A
+        correct = update_register(write_a, 7, d)
+        assert last_write_wins != correct  # information was lost

@@ -1,0 +1,98 @@
+"""Cross-module integration scenarios."""
+
+import pytest
+
+from repro import (
+    ExaLogLog,
+    MartingaleExaLogLog,
+    SparseExaLogLog,
+    hash64,
+)
+from repro.baselines import ExactCounter, HyperLogLog, UltraLogLog
+from repro.workloads import shard_stream, zipf_stream
+
+
+class TestRealStreamAccuracy:
+    def test_zipf_stream_all_sketches_agree(self):
+        exact = ExactCounter()
+        ell = ExaLogLog(2, 20, 10)
+        hll = HyperLogLog(12)
+        ull = UltraLogLog(11)
+        for key in zipf_stream(50000, 20000, exponent=1.2, seed=1):
+            exact.add(key)
+            ell.add(key)
+            hll.add(key)
+            ull.add(key)
+        truth = exact.estimate()
+        assert ell.estimate() == pytest.approx(truth, rel=0.06)
+        assert hll.estimate() == pytest.approx(truth, rel=0.08)
+        assert ull.estimate() == pytest.approx(truth, rel=0.08)
+
+
+class TestDistributedPipeline:
+    def test_shard_merge_wire_roundtrip(self):
+        partitions = shard_stream(30000, 8, overlap=0.2, seed=2)
+        blobs = []
+        exact = ExactCounter()
+        for partition in partitions:
+            sketch = ExaLogLog(2, 20, 9)
+            for key in partition:
+                sketch.add(key)
+                exact.add(key)
+            blobs.append(sketch.to_bytes())
+        merged = ExaLogLog.from_bytes(blobs[0])
+        for blob in blobs[1:]:
+            merged.merge_inplace(ExaLogLog.from_bytes(blob))
+        assert merged.estimate() == pytest.approx(exact.estimate(), rel=0.08)
+
+    def test_mixed_generation_migration(self):
+        """Old high-precision records merge with new low-precision ones."""
+        old = ExaLogLog(2, 20, 10)
+        new = ExaLogLog(2, 16, 8)
+        exact = ExactCounter()
+        for i in range(20000):
+            old.add(f"old-{i}")
+            exact.add(f"old-{i}")
+        for i in range(10000):
+            new.add(f"new-{i}")
+            exact.add(f"new-{i}")
+        combined = old.merge(new)
+        assert combined.params.d == 16
+        assert combined.params.p == 8
+        assert combined.estimate() == pytest.approx(exact.estimate(), rel=0.12)
+
+    def test_sparse_shards_merge_into_dense(self):
+        shards = [SparseExaLogLog(2, 20, 8) for _ in range(4)]
+        exact = ExactCounter()
+        for shard_index, sketch in enumerate(shards):
+            for i in range(2000):
+                key = f"item-{shard_index * 1500 + i}"  # overlapping ranges
+                sketch.add(key)
+                exact.add(key)
+        merged = shards[0]
+        for other in shards[1:]:
+            merged.merge_inplace(other)
+        assert merged.estimate() == pytest.approx(exact.estimate(), rel=0.12)
+
+
+class TestSeedIsolation:
+    def test_two_tenants_independent(self):
+        """Different hash seeds make sketch states uncorrelated (multi-
+        tenant setups hashing the same keyspace)."""
+        a = ExaLogLog(2, 20, 8)
+        b = ExaLogLog(2, 20, 8)
+        for i in range(5000):
+            a.add_hash(hash64(f"k{i}", seed=1))
+            b.add_hash(hash64(f"k{i}", seed=2))
+        assert a != b
+        assert a.estimate() == pytest.approx(b.estimate(), rel=0.2)
+
+
+class TestMartingaleVsMlEndToEnd:
+    def test_same_stream_two_estimators(self):
+        martingale = MartingaleExaLogLog(2, 16, 9)
+        for key in zipf_stream(40000, 15000, seed=3):
+            martingale.add(key)
+        ml = martingale.ml_estimate()
+        hip = martingale.estimate()
+        assert hip == pytest.approx(ml, rel=0.1)

@@ -1,0 +1,60 @@
+"""Monte-Carlo error evaluation (the Figure 8 harness) — statistical checks."""
+
+import pytest
+
+from repro.core.params import make_params
+from repro.simulation.evaluation import evaluate_estimation_error
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    """One moderately sized evaluation reused by all checks (seconds)."""
+    params = make_params(2, 20, 6)
+    checkpoints = [1.0, 100.0, 1e4, 1e6, 1e9, 1e12]
+    return evaluate_estimation_error(
+        params, checkpoints, runs=48, seed=42, n_exact=1 << 13
+    )
+
+
+class TestShapes:
+    def test_series_lengths(self, evaluation):
+        assert len(evaluation.ml.relative_rmse) == 6
+        assert len(evaluation.martingale.relative_rmse) == 6
+        assert evaluation.runs == 48
+
+    def test_rows_export(self, evaluation):
+        rows = evaluation.ml.rows()
+        assert rows[0]["n"] == 1.0
+        assert set(rows[0]) == {"n", "bias", "rmse", "theory"}
+
+
+class TestFigure8Claims:
+    def test_rmse_matches_theory_at_intermediate_n(self, evaluation):
+        """Perfect agreement with theory for intermediate n (Sec. 5.1) —
+        within Monte-Carlo tolerance (~20 % of RMSE at 48 runs)."""
+        theory = evaluation.ml.theoretical_rmse
+        for index, n in enumerate(evaluation.ml.checkpoints):
+            if n >= 1e4:
+                assert evaluation.ml.relative_rmse[index] == pytest.approx(
+                    theory, rel=0.45
+                )
+
+    def test_error_small_for_small_n(self, evaluation):
+        """For small distinct counts the error is *much* smaller."""
+        assert evaluation.ml.relative_rmse[0] < evaluation.ml.theoretical_rmse / 3
+        assert evaluation.martingale.relative_rmse[0] < 0.01
+
+    def test_martingale_beats_ml_theory(self, evaluation):
+        assert (
+            evaluation.martingale.theoretical_rmse < evaluation.ml.theoretical_rmse
+        )
+
+    def test_bias_negligible_vs_rmse(self, evaluation):
+        for index, n in enumerate(evaluation.ml.checkpoints):
+            if n >= 1e4:
+                assert abs(evaluation.ml.relative_bias[index]) < max(
+                    0.5 * evaluation.ml.relative_rmse[index], 0.01
+                )
+
+    def test_newton_bound(self, evaluation):
+        assert evaluation.newton_iterations_max <= 10

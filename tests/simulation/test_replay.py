@@ -1,0 +1,94 @@
+"""Replay: incremental coefficients must equal Algorithm 3 from scratch."""
+
+import math
+
+import pytest
+
+from repro.core.mlestimation import compute_coefficients, ml_estimate
+from repro.core.params import make_params
+from repro.simulation.events import filter_state_changes, simulate_event_schedule
+from repro.simulation.replay import replay
+from repro.simulation.rng import numpy_generator
+
+CONFIGS = [
+    make_params(2, 20, 4),
+    make_params(2, 16, 6),
+    make_params(1, 9, 5),
+    make_params(0, 2, 6),
+    make_params(2, 24, 4),
+]
+
+
+def run_replay(params, n_max, seed, checkpoints=None, n_exact=1 << 13):
+    rng = numpy_generator(seed, 0)
+    schedule = simulate_event_schedule(params, n_max, rng, n_exact=n_exact)
+    filtered = filter_state_changes(schedule, params)
+    return replay(filtered, params, checkpoints or [n_max])
+
+
+class TestCoefficientConsistency:
+    @pytest.mark.parametrize("params", CONFIGS, ids=str)
+    @pytest.mark.parametrize("n_max", [100, 1e5, 1e12, 1e19])
+    def test_incremental_equals_scratch(self, params, n_max):
+        result = run_replay(params, n_max, seed=hash((str(params), n_max)) & 0xFFF)
+        reference = compute_coefficients(result.registers, params)
+        assert result.alpha_scaled == reference.alpha_scaled
+        assert {u: c for u, c in enumerate(result.beta) if c} == reference.beta
+
+    @pytest.mark.parametrize("params", CONFIGS[:2], ids=str)
+    def test_ml_estimate_matches_direct(self, params):
+        checkpoints = [1e3, 1e6, 1e9]
+        result = run_replay(params, 1e9, seed=11, checkpoints=checkpoints)
+        direct = ml_estimate(result.registers, params)
+        assert result.ml_estimates[-1] == pytest.approx(direct, rel=1e-12)
+
+
+class TestEstimateQuality:
+    def test_ml_errors_reasonable_across_range(self):
+        params = make_params(2, 20, 8)
+        checkpoints = [10.0 ** e for e in range(0, 19, 3)]
+        result = run_replay(params, checkpoints[-1], seed=21, checkpoints=checkpoints)
+        for n, estimate in zip(checkpoints, result.ml_estimates):
+            assert estimate == pytest.approx(n, rel=0.2)
+
+    def test_martingale_errors_reasonable_across_range(self):
+        params = make_params(2, 16, 8)
+        checkpoints = [10.0 ** e for e in range(0, 19, 3)]
+        result = run_replay(params, checkpoints[-1], seed=22, checkpoints=checkpoints)
+        for n, estimate in zip(checkpoints, result.martingale_estimates):
+            assert estimate == pytest.approx(n, rel=0.2)
+
+    def test_martingale_exact_at_n1(self):
+        params = make_params(2, 20, 6)
+        result = run_replay(params, 1.0, seed=23, checkpoints=[1.0])
+        assert result.martingale_estimates[0] == pytest.approx(1.0)
+
+    def test_newton_iteration_claim(self):
+        """Appendix A: at most 10 iterations, 5-7 on average."""
+        params = make_params(2, 20, 8)
+        checkpoints = [10.0 ** e for e in range(0, 19)]
+        result = run_replay(params, 1e18, seed=24, checkpoints=checkpoints)
+        assert result.newton_iterations_max <= 10
+
+    def test_estimates_increase_with_n(self):
+        params = make_params(2, 20, 6)
+        checkpoints = [10.0, 1e3, 1e6, 1e9, 1e12]
+        result = run_replay(params, 1e12, seed=25, checkpoints=checkpoints)
+        assert all(
+            b >= a * 0.5 for a, b in zip(result.ml_estimates, result.ml_estimates[1:])
+        )
+        mart = result.martingale_estimates
+        assert all(b >= a for a, b in zip(mart, mart[1:]))
+
+
+class TestMuConsistency:
+    def test_final_mu_matches_state_change_probability(self):
+        from repro.core.register import state_change_probability
+
+        params = make_params(2, 16, 4)
+        result = run_replay(params, 1e6, seed=26)
+        mu_incremental = result.alpha_scaled / ((params.m << (64 - params.p)) * 1.0)
+        mu_direct = sum(
+            state_change_probability(r, params) for r in result.registers
+        ) / 1.0
+        assert mu_incremental * params.m == pytest.approx(mu_direct * params.m, rel=1e-9)

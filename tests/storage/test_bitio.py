@@ -1,0 +1,80 @@
+"""BitWriter / BitReader round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.bitio import BitReader, BitWriter
+
+
+class TestWriter:
+    def test_empty(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_bit_padding(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        assert writer.getvalue() == b"\x80"
+
+    def test_bit_length(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.bit_length == 3
+        writer.write_bits(0xFF, 8)
+        assert writer.bit_length == 11
+
+    def test_value_too_wide(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(4, 2)
+
+    def test_msb_first(self):
+        writer = BitWriter()
+        writer.write_bits(0b1, 1)
+        writer.write_bits(0b0000000, 7)
+        assert writer.getvalue() == b"\x80"
+
+
+class TestRoundtrip:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 64), st.integers(min_value=0)),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100)
+    def test_bits_roundtrip(self, pieces):
+        pieces = [(w, v & ((1 << w) - 1)) for w, v in pieces]
+        writer = BitWriter()
+        for width, value in pieces:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for width, value in pieces:
+            assert reader.read_bits(width) == value
+
+    @given(st.lists(st.integers(0, 40), max_size=30))
+    def test_unary_roundtrip(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_unary(value)
+        reader = BitReader(writer.getvalue())
+        for value in values:
+            assert reader.read_unary() == value
+
+    def test_read_past_end(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\xab\xcd")
+        assert reader.bits_remaining == 16
+        reader.read_bits(5)
+        assert reader.bits_consumed == 5
+        assert reader.bits_remaining == 11
+
+    def test_interleaved_with_packed_semantics(self):
+        writer = BitWriter()
+        writer.write_bits(0xABC, 12)
+        writer.write_bits(0xDEF, 12)
+        assert writer.getvalue() == bytes([0xAB, 0xCD, 0xEF])

@@ -1,0 +1,126 @@
+"""PackedArray: layout exactness and random-operation equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.packed import PackedArray
+
+
+class TestBasics:
+    def test_byte_size_28bit(self):
+        """Two 28-bit ELL(2,20) registers pack into exactly 7 bytes."""
+        assert PackedArray(28, 2).byte_size == 7
+
+    def test_byte_size_6bit_hll(self):
+        assert PackedArray(6, 2048).byte_size == 1536
+
+    def test_byte_size_3bit(self):
+        assert PackedArray(3, 2048).byte_size == 768
+
+    def test_empty(self):
+        array = PackedArray(13, 0)
+        assert len(array) == 0
+        assert array.to_bytes() == b""
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            PackedArray(0, 4)
+        with pytest.raises(ValueError):
+            PackedArray(129, 4)
+
+    def test_wide_registers_for_ell_0_64(self):
+        """ELL(0, 64) needs 70-bit registers (Sec. 2.5, PCSA-equivalent)."""
+        array = PackedArray(70, 3)
+        array[1] = (1 << 70) - 1
+        assert array[0] == 0
+        assert array[1] == (1 << 70) - 1
+        assert array.byte_size == (70 * 3 + 7) // 8
+
+    def test_rejects_value_overflow(self):
+        array = PackedArray(4, 4)
+        with pytest.raises(ValueError):
+            array[0] = 16
+
+    def test_rejects_negative_value(self):
+        array = PackedArray(4, 4)
+        with pytest.raises(ValueError):
+            array[0] = -1
+
+    def test_index_error(self):
+        array = PackedArray(4, 4)
+        with pytest.raises(IndexError):
+            array[4]
+
+    def test_negative_index(self):
+        array = PackedArray(8, 4)
+        array[-1] = 77
+        assert array[3] == 77
+
+    def test_msb_first_layout(self):
+        array = PackedArray(4, 2)
+        array[0] = 0xA
+        array[1] = 0x5
+        assert array.to_bytes() == b"\xa5"
+
+    def test_straddling_byte_boundary(self):
+        array = PackedArray(12, 2)
+        array[0] = 0xABC
+        array[1] = 0xDEF
+        assert array.to_bytes() == bytes([0xAB, 0xCD, 0xEF])
+
+    def test_repr(self):
+        assert "width=6" in repr(PackedArray(6, 8))
+
+
+class TestRoundtrips:
+    @given(
+        width=st.integers(1, 64),
+        values=st.lists(st.integers(min_value=0), min_size=0, max_size=40),
+    )
+    @settings(max_examples=120)
+    def test_set_get_equivalence(self, width, values):
+        values = [v & ((1 << width) - 1) for v in values]
+        array = PackedArray(width, len(values))
+        for i, value in enumerate(values):
+            array[i] = value
+        assert list(array) == values
+        assert array.to_list() == values
+
+    @given(
+        width=st.integers(1, 64),
+        values=st.lists(st.integers(min_value=0), min_size=1, max_size=40),
+    )
+    @settings(max_examples=120)
+    def test_from_values_to_bytes_roundtrip(self, width, values):
+        values = [v & ((1 << width) - 1) for v in values]
+        array = PackedArray.from_values(width, values)
+        restored = PackedArray.from_bytes(width, len(values), array.to_bytes())
+        assert restored == array
+        assert restored.to_list() == values
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_random_writes_match_reference_list(self, data):
+        width = data.draw(st.integers(1, 33))
+        count = data.draw(st.integers(1, 30))
+        array = PackedArray(width, count)
+        reference = [0] * count
+        for _ in range(data.draw(st.integers(0, 50))):
+            index = data.draw(st.integers(0, count - 1))
+            value = data.draw(st.integers(0, (1 << width) - 1))
+            array[index] = value
+            reference[index] = value
+        assert list(array) == reference
+
+    def test_from_bytes_length_validation(self):
+        with pytest.raises(ValueError):
+            PackedArray.from_bytes(6, 4, b"\x00" * 10)
+
+    def test_from_values_overflow_validation(self):
+        with pytest.raises(ValueError):
+            PackedArray.from_values(4, [16])
+
+    def test_final_byte_zero_padded(self):
+        array = PackedArray.from_values(3, [7])
+        assert array.to_bytes() == bytes([0b11100000])

@@ -1,0 +1,46 @@
+"""The compressed-state integral I(a)."""
+
+import pytest
+
+from repro.theory.fisher import (
+    compressed_integral,
+    compressed_integral_series,
+    compressed_integrand,
+)
+
+
+class TestIntegrand:
+    def test_endpoint_limits_are_zero(self):
+        assert compressed_integrand(0.0, 1.0) == 0.0
+        assert compressed_integrand(1.0, 1.0) == 0.0
+
+    def test_midpoint_value_a1(self):
+        # z=0.5, a=1: z (1-z) ln(1-z) / (z ln z) = (1-z) = 0.5.
+        assert compressed_integrand(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_positive_on_interior(self):
+        for z in (0.1, 0.3, 0.5, 0.7, 0.9, 0.99):
+            assert compressed_integrand(z, 0.5) > 0.0
+
+
+class TestIntegral:
+    @pytest.mark.parametrize("a", [0.0, 0.25, 0.5, 1.0, 2.0])
+    def test_quad_matches_highres_trapezoid(self, a):
+        assert compressed_integral(a) == pytest.approx(
+            compressed_integral_series(a), rel=2e-3
+        )
+
+    def test_monotone_decreasing_in_a(self):
+        values = [compressed_integral(a) for a in (0.0, 0.25, 0.5, 1.0, 2.0)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            compressed_integral(-0.1)
+
+    def test_value_consistent_with_known_limits(self):
+        """I(0) must make Eq. (7) equal its known 1.63 limit."""
+        import math
+
+        limit = (1.0 + compressed_integral(0.0)) / (2.0 * math.log(2.0))
+        assert limit == pytest.approx(1.63, abs=0.005)

@@ -1,0 +1,40 @@
+"""Hurwitz zeta implementations against known values and each other."""
+
+import math
+
+import pytest
+
+from repro.theory.zeta import hurwitz_zeta, hurwitz_zeta_reference
+
+
+class TestKnownValues:
+    def test_riemann_zeta_2(self):
+        assert hurwitz_zeta(2.0, 1.0) == pytest.approx(math.pi ** 2 / 6, rel=1e-12)
+
+    def test_riemann_zeta_3_apery(self):
+        assert hurwitz_zeta(3.0, 1.0) == pytest.approx(1.2020569031595943, rel=1e-12)
+
+    def test_shift_identity(self):
+        """zeta(s, q) - zeta(s, q+1) == q**-s."""
+        for s in (2.0, 3.0):
+            for q in (0.5, 1.0, 1.25, 2.0):
+                difference = hurwitz_zeta(s, q) - hurwitz_zeta(s, q + 1.0)
+                assert difference == pytest.approx(q ** -s, rel=1e-10)
+
+    def test_zeta_2_2(self):
+        assert hurwitz_zeta(2.0, 2.0) == pytest.approx(math.pi ** 2 / 6 - 1.0, rel=1e-12)
+
+
+class TestReferenceImplementation:
+    @pytest.mark.parametrize("s", [2.0, 3.0])
+    @pytest.mark.parametrize("q", [0.25, 0.5, 1.0, 1.1666, 1.25, 1.5, 2.0, 3.0])
+    def test_matches_scipy(self, s, q):
+        assert hurwitz_zeta_reference(s, q) == pytest.approx(
+            hurwitz_zeta(s, q), rel=1e-10
+        )
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            hurwitz_zeta_reference(1.0, 1.0)
+        with pytest.raises(ValueError):
+            hurwitz_zeta_reference(2.0, 0.0)

@@ -1,0 +1,53 @@
+"""Genomics workload generator."""
+
+import pytest
+
+from repro.workloads.kmers import canonical_kmers, kmers, random_genome, sequencing_reads
+
+
+class TestGenome:
+    def test_alphabet(self):
+        genome = random_genome(1000, seed=1)
+        assert set(genome) <= set(b"ACGT")
+        assert len(genome) == 1000
+
+    def test_deterministic(self):
+        assert random_genome(100, seed=2) == random_genome(100, seed=2)
+
+
+class TestReads:
+    def test_read_length_and_count(self):
+        genome = random_genome(10000, seed=3)
+        reads = list(sequencing_reads(genome, read_length=100, coverage=2.0, seed=4))
+        assert all(len(read) == 100 for read in reads)
+        assert len(reads) == 200
+
+    def test_reads_are_substrings_without_errors(self):
+        genome = random_genome(2000, seed=5)
+        for read in sequencing_reads(genome, read_length=50, coverage=1.0, seed=6):
+            assert read in genome
+
+    def test_errors_change_reads(self):
+        genome = random_genome(5000, seed=7)
+        noisy = list(
+            sequencing_reads(genome, read_length=100, coverage=1.0, error_rate=0.1, seed=8)
+        )
+        assert any(read not in genome for read in noisy)
+
+    def test_read_length_validation(self):
+        with pytest.raises(ValueError):
+            list(sequencing_reads(b"ACGT", read_length=10))
+
+
+class TestKmers:
+    def test_count(self):
+        assert len(list(kmers(b"ACGTACGT", 3))) == 6
+
+    def test_canonical_folding(self):
+        # ACG's reverse complement is CGT; canonical picks the smaller.
+        assert list(canonical_kmers(b"ACG", 3)) == [b"ACG"]
+        assert list(canonical_kmers(b"CGT", 3)) == [b"ACG"]
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            list(kmers(b"ACGT", 0))

@@ -1,0 +1,63 @@
+"""Workload generators."""
+
+import pytest
+
+from repro.workloads.streams import flow_stream, shard_stream, uniform_stream, zipf_stream
+
+
+class TestZipf:
+    def test_length(self):
+        assert len(list(zipf_stream(1000, 100, seed=1))) == 1000
+
+    def test_skew(self):
+        from collections import Counter
+
+        counts = Counter(zipf_stream(20000, 1000, exponent=1.5, seed=2))
+        most_common = counts.most_common(1)[0][1]
+        assert most_common > 20000 / 1000 * 10  # head far above uniform share
+
+    def test_deterministic(self):
+        assert list(zipf_stream(100, 50, seed=3)) == list(zipf_stream(100, 50, seed=3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(zipf_stream(10, 0))
+
+
+class TestUniform:
+    def test_coverage(self):
+        keys = set(uniform_stream(5000, 10, seed=4))
+        assert len(keys) == 10
+
+
+class TestShards:
+    def test_partition_counts(self):
+        partitions = shard_stream(1000, 8, overlap=0.0, seed=5)
+        assert len(partitions) == 8
+        total = sum(len(p) for p in partitions)
+        assert total == 1000
+
+    def test_overlap_duplicates_keys(self):
+        partitions = shard_stream(1000, 8, overlap=0.5, seed=6)
+        total = sum(len(p) for p in partitions)
+        assert total > 1000
+        distinct = len({key for partition in partitions for key in partition})
+        assert distinct == 1000
+
+    def test_overlap_validation(self):
+        with pytest.raises(ValueError):
+            shard_stream(10, 2, overlap=1.5)
+
+
+class TestFlows:
+    def test_scanner_dominates_distinct_flows(self):
+        flows = {}
+        for record in flow_stream(20000, scanner_fraction=0.05, seed=7):
+            flows.setdefault(record.source, set()).add(record.flow_key())
+        scanner_flows = len(flows["10.0.0.666"])
+        normal_max = max(len(v) for s, v in flows.items() if s != "10.0.0.666")
+        assert scanner_flows > 3 * normal_max
+
+    def test_no_scanner(self):
+        sources = {r.source for r in flow_stream(2000, scanner=None, seed=8)}
+        assert "10.0.0.666" not in sources
