@@ -18,6 +18,7 @@ See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
 """
 
+from repro.backends import BulkBackend
 from repro.core.exaloglog import ExaLogLog
 from repro.core.martingale import MartingaleExaLogLog
 from repro.core.params import (
@@ -44,6 +45,7 @@ from repro.windowed import SlidingWindowDistinctCounter
 __version__ = "1.0.0"
 
 __all__ = [
+    "BulkBackend",
     "DistinctCountAggregator",
     "ExaLogLog",
     "ExaLogLogParams",

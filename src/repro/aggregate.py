@@ -84,8 +84,72 @@ class DistinctCountAggregator:
         return self
 
     def add_pairs(self, pairs: Iterable[tuple[Hashable, Any]]) -> "DistinctCountAggregator":
-        for group, item in pairs:
-            self.add(group, item)
+        """Record an iterable of ``(group, item)`` pairs.
+
+        Streams in bounded chunks through :meth:`add_batch`, so unbounded
+        iterators keep O(chunk) extra memory; batch equivalence to the
+        per-item loop makes chunking invisible in the result.
+        """
+        import itertools
+
+        from repro.backends.bulk import BULK_CHUNK
+
+        iterator = iter(pairs)
+        while chunk := list(itertools.islice(iterator, BULK_CHUNK)):
+            groups, items = zip(*chunk)
+            self.add_batch(groups, list(items))
+        return self
+
+    def add_batch(
+        self, groups: "Iterable[Hashable]", items: Any
+    ) -> "DistinctCountAggregator":
+        """Record ``items[i]`` under ``groups[i]`` for a whole batch.
+
+        One vectorised hash pass over ``items`` (NumPy integer/float
+        arrays hash without a Python-level loop), then a per-group
+        scatter feeding each group's sketch through its bulk
+        ``add_hashes`` path. Estimates are exactly those of the
+        equivalent per-item :meth:`add` loop.
+        """
+        import numpy as np
+
+        from repro.hashing.batch import hash_items
+
+        hashes = hash_items(items, self._seed)
+        # ndarray.tolist() yields Python scalars, which the canonical
+        # to_bytes key encoding accepts (NumPy scalars are not ints).
+        groups = groups.tolist() if isinstance(groups, np.ndarray) else list(groups)
+        if len(groups) != len(hashes):
+            raise ValueError(
+                f"group/item length mismatch: {len(groups)} vs {len(hashes)}"
+            )
+        if not groups:
+            return self
+        # Factorise group keys to integer codes (first-appearance order).
+        keys: list[bytes] = []
+        code_of: dict[bytes, int] = {}
+        codes = np.empty(len(groups), dtype=np.int64)
+        for position, group in enumerate(groups):
+            key = self._group_key(group)
+            code = code_of.get(key)
+            if code is None:
+                code = len(keys)
+                code_of[key] = code
+                keys.append(key)
+            codes[position] = code
+        # Scatter: stable sort by code, then one bulk insert per segment.
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(order)]))
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            key = keys[int(sorted_codes[start])]
+            sketch = self._groups.get(key)
+            if sketch is None:
+                sketch = self._new_sketch()
+                self._groups[key] = sketch
+            sketch.add_hashes(hashes[order[start:end]])
         return self
 
     # -- queries -----------------------------------------------------------------

@@ -1,0 +1,53 @@
+"""The bulk-ingest contract every sketch in the family implements.
+
+:class:`BulkBackend` is a structural protocol: anything with an
+``add_hashes`` accepting an ndarray (or any iterable) of 64-bit hash
+values qualifies. The semantic contract — stronger than the signature —
+is **exact equivalence**:
+
+    ``sketch.add_hashes(hashes)`` leaves the sketch in a state that is
+    bit-identical (``to_bytes()``-identical) to the state the sequential
+    loop ``for h in hashes: sketch.add_hash(h)`` would have produced.
+
+Vectorised implementations (ExaLogLog and friends, HyperLogLog, PCSA,
+SpikeSketch) achieve this because their inserts are commutative and
+idempotent, so a batch folds set-wise. Order-*dependent* sketches — the
+martingale variants, whose estimate depends on the state-change sequence —
+keep the scalar loop via :func:`scalar_add_hashes`, which satisfies the
+contract trivially.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class BulkBackend(Protocol):
+    """Structural type of a sketch with a bulk ingestion path."""
+
+    def add_hashes(self, hashes: "np.ndarray | Iterable[int]") -> Any:
+        """Insert a batch of 64-bit hashes; returns the sketch itself."""
+        ...
+
+
+def supports_bulk(sketch: Any) -> bool:
+    """Whether ``sketch`` exposes the bulk-ingest API."""
+    return isinstance(sketch, BulkBackend)
+
+
+def scalar_add_hashes(sketch: Any, hashes) -> Any:
+    """Reference fallback: the sequential loop the bulk path must match.
+
+    Applies the same unsigned canonicalization as ``as_hash_array`` so
+    signed int64 arrays (two's-complement bit patterns) behave the same
+    on the scalar fallback as on the vectorised paths.
+    """
+    add_hash = sketch.add_hash
+    if isinstance(hashes, np.ndarray):
+        hashes = hashes.tolist()
+    for hash_value in hashes:
+        add_hash(int(hash_value) & 0xFFFFFFFFFFFFFFFF)
+    return sketch

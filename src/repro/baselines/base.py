@@ -40,10 +40,31 @@ class DistinctCounter(abc.ABC):
         return self
 
     def add_all(self, items: Iterable[Any], seed: int = 0) -> "DistinctCounter":
-        """Insert every element of an iterable; returns ``self``."""
-        for item in items:
-            self.add_hash(hash64(item, seed))
-        return self
+        """Insert every element of an iterable; returns ``self``.
+
+        Routed through the bulk path: NumPy integer/float arrays are
+        hashed vectorised, everything else element-wise, and the hashes
+        are ingested through :meth:`add_hashes`.
+        """
+        return self.add_batch(items, seed)
+
+    def add_batch(self, items: Iterable[Any], seed: int = 0) -> "DistinctCounter":
+        """Hash a batch of items (vectorised when possible) and ingest it."""
+        from repro.hashing.batch import hash_items
+
+        return self.add_hashes(hash_items(items, seed))
+
+    def add_hashes(self, hashes) -> "DistinctCounter":
+        """Insert a batch of 64-bit hashes (ndarray or iterable of ints).
+
+        The resulting state is bit-identical to the sequential
+        :meth:`add_hash` loop (the :class:`repro.backends.BulkBackend`
+        contract). This default *is* the scalar loop; sketches with a
+        vectorised backend override it.
+        """
+        from repro.backends.protocol import scalar_add_hashes
+
+        return scalar_add_hashes(self, hashes)
 
     @abc.abstractmethod
     def add_hash(self, hash_value: int) -> bool:

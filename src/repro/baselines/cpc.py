@@ -66,6 +66,11 @@ class CpcSketch(DistinctCounter):
     def add_hash(self, hash_value: int) -> bool:
         return self._pcsa.add_hash(hash_value)
 
+    def add_hashes(self, hashes) -> "CpcSketch":
+        """Bulk insert, delegated to the underlying PCSA working state."""
+        self._pcsa.add_hashes(hashes)
+        return self
+
     def estimate(self) -> float:
         return self._pcsa.estimate_ml()
 

@@ -26,9 +26,19 @@ class ExactCounter(DistinctCounter):
         self._hashes: set[int] = set()
 
     def add_hash(self, hash_value: int) -> bool:
+        # Canonicalize to the unsigned 64-bit domain so scalar and bulk
+        # ingestion agree (and delta-varint serialization stays valid).
+        hash_value &= 0xFFFFFFFFFFFFFFFF
         before = len(self._hashes)
         self._hashes.add(hash_value)
         return len(self._hashes) != before
+
+    def add_hashes(self, hashes) -> "ExactCounter":
+        """Bulk insert: one set update over the coerced hash array."""
+        from repro.backends import as_hash_array
+
+        self._hashes.update(as_hash_array(hashes).tolist())
+        return self
 
     def estimate(self) -> float:
         return float(len(self._hashes))

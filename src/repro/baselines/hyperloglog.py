@@ -125,6 +125,19 @@ class HyperLogLog(DistinctCounter):
             return True
         return False
 
+    def add_hashes(self, hashes) -> "HyperLogLog":
+        """Vectorised bulk insert: fold the batch, then element-wise max."""
+        import numpy as np
+
+        from repro.backends import as_hash_array, hyperloglog_registers
+
+        hashes = as_hash_array(hashes)
+        if len(hashes):
+            batch = hyperloglog_registers(hashes, self._p)
+            existing = np.asarray(self._registers, dtype=np.int64)
+            self._registers = np.maximum(existing, batch).tolist()
+        return self
+
     def estimate(self) -> float:
         return self.estimate_ml()
 
@@ -241,6 +254,12 @@ class MartingaleHyperLogLog(HyperLogLog):
         self._mu -= (h_old - h_new) / self._m
         self._registers[index] = k
         return True
+
+    def add_hashes(self, hashes) -> "MartingaleHyperLogLog":
+        """Bulk insert via the scalar loop (HIP estimation is order-dependent)."""
+        from repro.backends.protocol import scalar_add_hashes
+
+        return scalar_add_hashes(self, hashes)
 
     def estimate(self) -> float:
         return self._estimate

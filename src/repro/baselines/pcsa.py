@@ -93,6 +93,19 @@ class PCSA(DistinctCounter):
         self._bitmaps[index] |= bit
         return True
 
+    def add_hashes(self, hashes) -> "PCSA":
+        """Vectorised bulk insert: fold the batch, then element-wise OR."""
+        import numpy as np
+
+        from repro.backends import as_hash_array, pcsa_bitmaps
+
+        hashes = as_hash_array(hashes)
+        if len(hashes):
+            batch = pcsa_bitmaps(hashes, self._p)
+            existing = np.asarray(self._bitmaps, dtype=np.int64)
+            self._bitmaps = (existing | batch).tolist()
+        return self
+
     def level_probability(self, level: int) -> float:
         """Per-element probability of hitting ``level`` in a given bucket."""
         if not 0 <= level < self._levels:

@@ -134,6 +134,16 @@ class SpikeSketch(DistinctCounter):
         self._registers[index] = new
         return True
 
+    def add_hashes(self, hashes) -> "SpikeSketch":
+        """Bulk insert: vectorised thinning/classification, then replay the
+        surviving unique (index, level) pairs (idempotent, so exact)."""
+        from repro.backends import as_hash_array, spikesketch_pairs
+
+        registers = self._registers
+        for index, level in spikesketch_pairs(as_hash_array(hashes), self._buckets):
+            registers[index] = update_register(registers[index], level, _D)
+        return self
+
     def estimate(self) -> float:
         """ML estimate over the base-4 register model, rescaled by 1/0.64.
 

@@ -1,140 +1,30 @@
-"""Vectorised bulk insertion (NumPy) for the simulation harness.
+"""Compatibility shim: the bulk machinery moved to :mod:`repro.backends`.
 
-The Sec. 5 experiments need the *final sketch state* of millions of random
-insertions, thousands of times. Because every sketch here is order-
-independent (commutative inserts), the state after a batch can be computed
-set-wise: per register, the maximum update value plus the OR of window
-bits — which vectorises. These helpers return exactly the state the
-sequential ``add_hash`` loop would produce (asserted by tests) at a tiny
-fraction of the cost.
-
-All bit arithmetic stays in integer space (``np.bitwise_count`` on smeared
-values implements ``bit_length``), so results are exact for all 64 bits.
+This module used to hold the vectorised batch-state builders privately
+for the simulation harness. They are now a first-class backend layer
+(``repro.backends``) powering ``add_hashes`` across the whole sketch
+family; the original names are re-exported here so existing imports keep
+working. New code should import from :mod:`repro.backends` directly.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.backends.bitops import bit_length_u64 as _bit_length_u64
+from repro.backends.bitops import nlz64_array, ntz64_array
+from repro.backends.bulk import (
+    exaloglog_state,
+    hyperloglog_state,
+    pcsa_state,
+    spikesketch_state,
+    split_hashes,
+)
 
-from repro.core.params import ExaLogLogParams
-
-_U64 = np.uint64
-
-
-def _bit_length_u64(values: np.ndarray) -> np.ndarray:
-    """Element-wise ``int.bit_length`` for uint64 arrays (exact)."""
-    x = values.astype(_U64, copy=True)
-    for shift in (1, 2, 4, 8, 16, 32):
-        x |= x >> _U64(shift)
-    return np.bitwise_count(x).astype(np.int64)
-
-
-def nlz64_array(values: np.ndarray) -> np.ndarray:
-    """Element-wise number of leading zeros of uint64 values."""
-    return 64 - _bit_length_u64(values)
-
-
-def ntz64_array(values: np.ndarray) -> np.ndarray:
-    """Element-wise number of trailing zeros (64 for zero values)."""
-    x = values.astype(_U64, copy=False)
-    isolated = x & (~x + _U64(1))
-    result = np.bitwise_count(isolated - _U64(1)).astype(np.int64)
-    result[x == 0] = 64
-    return result
-
-
-def split_hashes(
-    hashes: np.ndarray, params: ExaLogLogParams
-) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorised Algorithm 2 front end: (register index, update value)."""
-    t = _U64(params.t)
-    hashes = hashes.astype(_U64, copy=False)
-    index = (hashes >> t) & _U64(params.m - 1)
-    masked = hashes | _U64((1 << (params.p + params.t)) - 1)
-    nlz = nlz64_array(masked)
-    k = (nlz << params.t) + (hashes & _U64((1 << params.t) - 1)).astype(np.int64) + 1
-    return index.astype(np.int64), k
-
-
-def exaloglog_state(hashes: np.ndarray, params: ExaLogLogParams) -> list[int]:
-    """Final ExaLogLog register array after inserting all ``hashes``.
-
-    Identical to sequentially applying Algorithm 2 (order-independent).
-    """
-    index, k = split_hashes(hashes, params)
-    m = params.m
-    d = params.d
-
-    u = np.zeros(m, dtype=np.int64)
-    np.maximum.at(u, index, k)
-
-    low = np.zeros(m, dtype=np.int64)
-    if d > 0:
-        u_at_event = u[index]
-        in_window = (k < u_at_event) & (k >= u_at_event - d)
-        if in_window.any():
-            positions = d - (u_at_event[in_window] - k[in_window])
-            bits = np.int64(1) << positions
-            np.bitwise_or.at(low, index[in_window], bits)
-        # The deterministic value-0 bit for registers with 1 <= u <= d.
-        phantom = (u >= 1) & (u <= d)
-        low[phantom] |= np.int64(1) << (d - u[phantom])
-
-    return ((u << d) | low).tolist()
-
-
-def hyperloglog_state(hashes: np.ndarray, p: int) -> list[int]:
-    """Final HyperLogLog register array (Algorithm 1, top-p-bit indexing)."""
-    hashes = hashes.astype(_U64, copy=False)
-    index = (hashes >> _U64(64 - p)).astype(np.int64)
-    masked = hashes & _U64((1 << (64 - p)) - 1)
-    k = 64 - p - _bit_length_u64(masked) + 1
-    registers = np.zeros(1 << p, dtype=np.int64)
-    np.maximum.at(registers, index, k)
-    return registers.tolist()
-
-
-def pcsa_state(hashes: np.ndarray, p: int) -> list[int]:
-    """Final PCSA bitmap array (level bitmaps ORed together)."""
-    hashes = hashes.astype(_U64, copy=False)
-    index = (hashes >> _U64(64 - p)).astype(np.int64)
-    masked = hashes & _U64((1 << (64 - p)) - 1)
-    levels = np.minimum(64 - p - _bit_length_u64(masked), 64 - p - 1)
-    bitmaps = np.zeros(1 << p, dtype=np.int64)
-    np.bitwise_or.at(bitmaps, index, np.int64(1) << levels)
-    return bitmaps.tolist()
-
-
-def spikesketch_state(hashes: np.ndarray, buckets: int = 128) -> list[int]:
-    """Final SpikeSketch-model register array (matches SpikeSketch.add_hash)."""
-    from repro.baselines.spikesketch import ACCEPTANCE, SpikeSketch
-    from repro.core.register import update as update_register
-
-    sketch = SpikeSketch(buckets)
-    m = sketch.m
-    cap = sketch.max_level
-
-    x = hashes.astype(_U64, copy=True)
-    # Vectorised splitmix64_mix.
-    x = (x ^ (x >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
-    x = (x ^ (x >> _U64(27))) * _U64(0x94D049BB133111EB)
-    x ^= x >> _U64(31)
-
-    accepted = ((x >> _U64(40)) / float(1 << 24)) < ACCEPTANCE
-    x = x[accepted]
-    index = (x & _U64(m - 1)).astype(np.int64)
-    remaining = x >> _U64(m.bit_length() - 1)
-    level = np.minimum(1 + (ntz64_array(remaining) >> 1), cap)
-
-    # The d-bit window makes the fold order-dependent per (index, level)
-    # *pair multiplicity* — but pairs are idempotent, so reduce to unique
-    # pairs and replay through the scalar register update (few pairs).
-    keys = index * np.int64(cap + 1) + level
-    unique_keys = np.unique(keys)
-    registers = [0] * m
-    for key in unique_keys.tolist():
-        i, lvl = divmod(key, cap + 1)
-        registers[i] = update_register(registers[i], lvl, 3)
-    # Re-apply max-first ordering: replaying ascending levels per register
-    # matches any insertion order because register updates are commutative.
-    return registers
+__all__ = [
+    "exaloglog_state",
+    "hyperloglog_state",
+    "nlz64_array",
+    "ntz64_array",
+    "pcsa_state",
+    "spikesketch_state",
+    "split_hashes",
+]

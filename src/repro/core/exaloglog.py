@@ -156,9 +156,43 @@ class ExaLogLog:
         return self
 
     def add_all(self, items: Iterable[Any], seed: int = 0) -> "ExaLogLog":
-        """Insert every element of an iterable; returns ``self``."""
-        for item in items:
-            self.add_hash(hash64(item, seed))
+        """Insert every element of an iterable; returns ``self``.
+
+        Routed through the bulk path: NumPy integer/float arrays are
+        hashed vectorised and folded set-wise (see :meth:`add_hashes`).
+        """
+        return self.add_batch(items, seed)
+
+    def add_batch(self, items: Iterable[Any], seed: int = 0) -> "ExaLogLog":
+        """Hash a batch of items (vectorised when possible) and ingest it."""
+        from repro.hashing.batch import hash_items
+
+        return self.add_hashes(hash_items(items, seed))
+
+    def add_hashes(self, hashes) -> "ExaLogLog":
+        """Vectorised bulk insert of 64-bit hashes (ndarray or iterable).
+
+        Inserts are commutative and idempotent, so the batch folds
+        set-wise into a register array and merges via Algorithm 5; the
+        result is bit-identical to the sequential :meth:`add_hash` loop
+        (the :class:`repro.backends.BulkBackend` contract).
+        """
+        from repro import backends
+
+        params = self._params
+        if not backends.supports_int64_registers(params):
+            return backends.scalar_add_hashes(self, hashes)
+        hashes = backends.as_hash_array(hashes)
+        if len(hashes) == 0:
+            return self
+        batch = backends.exaloglog_registers(hashes, params)
+        if any(self._registers):
+            merged = backends.merge_exaloglog_registers(
+                self._registers, batch, params.d
+            )
+            self._registers = merged.tolist()
+        else:
+            self._registers = batch.tolist()
         return self
 
     def add_hash(self, hash_value: int) -> bool:

@@ -100,6 +100,17 @@ class MartingaleExaLogLog(ExaLogLog):
         registers[index] = new
         return True
 
+    def add_hashes(self, hashes) -> "MartingaleExaLogLog":
+        """Bulk insert via the scalar loop.
+
+        The martingale estimate depends on the *sequence* of state
+        changes, so the order-independent vectorised fold of the base
+        class does not apply; the scalar loop keeps the estimator exact.
+        """
+        from repro.backends.protocol import scalar_add_hashes
+
+        return scalar_add_hashes(self, hashes)
+
     def estimate(self, bias_correction: bool = True) -> float:
         """Return the martingale estimate (``bias_correction`` is ignored:
         the martingale estimator is unbiased by construction)."""

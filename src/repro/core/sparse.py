@@ -112,8 +112,64 @@ class SparseExaLogLog:
         return self
 
     def add_all(self, items: Iterable[Any], seed: int = 0) -> "SparseExaLogLog":
-        for item in items:
-            self.add_hash(hash64(item, seed))
+        """Insert every element of an iterable (routed through the bulk path)."""
+        return self.add_batch(items, seed)
+
+    def add_batch(self, items: Iterable[Any], seed: int = 0) -> "SparseExaLogLog":
+        """Hash a batch of items (vectorised when possible) and ingest it."""
+        from repro.hashing.batch import hash_items
+
+        return self.add_hashes(hash_items(items, seed))
+
+    def add_hashes(self, hashes) -> "SparseExaLogLog":
+        """Vectorised bulk insert with correct bulk-triggered densification.
+
+        While sparse, the batch is tokenised vectorised; crossing the
+        break-even point densifies through the dense bulk path. The final
+        state is bit-identical to the sequential :meth:`add_hash` loop: a
+        token's representative hash produces exactly the original hash's
+        state transition (``p + t <= v``), so it does not matter which
+        prefix of the stream was recorded as tokens — collected tokens
+        and the raw remainder replay to the same registers.
+        """
+        from repro import backends
+        import numpy as np
+
+        hashes = backends.as_hash_array(hashes)
+        if len(hashes) == 0:
+            return self
+        if self._tokens is None:
+            assert self._dense is not None
+            self._dense.add_hashes(hashes)
+            return self
+
+        break_even = self.break_even_tokens
+        # Decide densification without tokenising/deduplicating huge
+        # batches: when a prefix already holds more distinct tokens than
+        # break-even, the union must cross; only duplicate-heavy batches
+        # pay for the full tokenise + unique pass.
+        limit = 4 * (break_even + 1)
+        distinct = np.unique(backends.tokenize_hashes(hashes[:limit], self._v))
+        if len(distinct) <= break_even and len(hashes) > limit:
+            distinct = np.unique(backends.tokenize_hashes(hashes, self._v))
+        if len(distinct) <= break_even:
+            self._tokens.update(distinct.tolist())
+            if len(self._tokens) <= break_even:
+                return self
+            hashes = None  # the token set already absorbed the batch
+        # Bulk densification: replay the collected tokens, then the raw
+        # batch (if its tokens were never materialised into the set).
+        dense = ExaLogLog.from_params(self._params)
+        if self._tokens:
+            token_dtype = np.uint64 if self._v + 6 > 63 else np.int64
+            token_array = np.fromiter(
+                self._tokens, dtype=token_dtype, count=len(self._tokens)
+            )
+            dense.add_hashes(backends.token_hashes(token_array, self._v))
+        if hashes is not None:
+            dense.add_hashes(hashes)
+        self._dense = dense
+        self._tokens = None
         return self
 
     def add_hash(self, hash_value: int) -> bool:

@@ -38,6 +38,23 @@ def env_float(name: str, default: float) -> float:
         raise ValueError(f"environment variable {name} must be a number, got {raw!r}")
 
 
+def ingest_hashes(sketch: Any, hashes) -> Any:
+    """Load a hash batch through the unified bulk-ingest API.
+
+    Every sketch in the library exposes ``add_hashes`` (vectorised where
+    the structure allows, scalar loop otherwise); this helper is the one
+    place the experiment runners go through, with a loop fallback for
+    foreign objects that only offer ``add_hash``.
+    """
+    add_hashes = getattr(sketch, "add_hashes", None)
+    if add_hashes is not None:
+        add_hashes(hashes)
+        return sketch
+    for hash_value in hashes.tolist():
+        sketch.add_hash(int(hash_value))
+    return sketch
+
+
 def format_table(rows: Sequence[dict[str, Any]], columns: Sequence[str] | None = None) -> str:
     """Render rows as an aligned text table."""
     if not rows:

@@ -17,7 +17,7 @@ import math
 
 import numpy as np
 
-from repro.core.batch import nlz64_array
+from repro.backends import tokenize_hashes
 from repro.estimation.newton import solve_ml_equation
 from repro.experiments.common import env_int, print_experiment
 from repro.simulation.events import logspace_checkpoints
@@ -28,10 +28,8 @@ N_MAX = 100_000
 
 
 def tokenize_batch(hashes: np.ndarray, v: int) -> np.ndarray:
-    """Vectorised Sec. 4.3 token mapping."""
-    mask = np.uint64((1 << v) - 1)
-    nlz = nlz64_array(hashes | mask)
-    return ((hashes & mask).astype(np.int64) << 6) | nlz
+    """Vectorised Sec. 4.3 token mapping (now shared with the backends)."""
+    return tokenize_hashes(hashes, v)
 
 
 def estimate_from_token_array(tokens: np.ndarray, v: int) -> float:

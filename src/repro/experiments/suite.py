@@ -19,16 +19,12 @@ from repro.baselines.hll_compact4 import HllCompact4
 from repro.baselines.hyperloglog import HyperLogLog, MartingaleHyperLogLog
 from repro.baselines.hyperlogloglog import HyperLogLogLog
 from repro.baselines.spikesketch import SpikeSketch
-from repro.core.batch import (
-    exaloglog_state,
-    hyperloglog_state,
-    pcsa_state,
-    spikesketch_state,
-)
+from repro.backends import exaloglog_state
 from repro.core.exaloglog import ExaLogLog
 from repro.core.martingale import MartingaleExaLogLog
 from repro.core.params import make_params
 from repro.core.sparse import SparseExaLogLog
+from repro.experiments.common import ingest_hashes
 
 
 @dataclass(frozen=True)
@@ -54,7 +50,11 @@ def _ell_loader(t: int, d: int, p: int, cls=ExaLogLog) -> Callable[[np.ndarray],
     params = make_params(t, d, p)
 
     def load(hashes: np.ndarray) -> Any:
-        return cls.from_registers(params, exaloglog_state(hashes, params))
+        if issubclass(cls, MartingaleExaLogLog):
+            # The statistical benches only need the register state; replaying
+            # the order-dependent estimator would force a scalar loop.
+            return cls.from_registers(params, exaloglog_state(hashes, params))
+        return ingest_hashes(cls.from_params(params), hashes)
 
     return load
 
@@ -63,17 +63,14 @@ def _hll_loader(p: int, width: int, raw_estimator: bool) -> Callable[[np.ndarray
     cls = RawHyperLogLog if raw_estimator else HyperLogLog
 
     def load(hashes: np.ndarray) -> Any:
-        sketch = cls(p, width)
-        sketch._registers = hyperloglog_state(hashes, p)
-        return sketch
+        return ingest_hashes(cls(p, width), hashes)
 
     return load
 
 
 def _hll4_loader(p: int) -> Callable[[np.ndarray], Any]:
     def load(hashes: np.ndarray) -> Any:
-        shadow = HyperLogLog(p)
-        shadow._registers = hyperloglog_state(hashes, p)
+        shadow = ingest_hashes(HyperLogLog(p), hashes)
         sketch = HllCompact4(p)
         sketch.merge_inplace(shadow)
         return sketch
@@ -83,8 +80,7 @@ def _hll4_loader(p: int) -> Callable[[np.ndarray], Any]:
 
 def _hlll_loader(p: int) -> Callable[[np.ndarray], Any]:
     def load(hashes: np.ndarray) -> Any:
-        shadow = HyperLogLog(p)
-        shadow._registers = hyperloglog_state(hashes, p)
+        shadow = ingest_hashes(HyperLogLog(p), hashes)
         sketch = HyperLogLogLog(p)
         sketch.merge_inplace(shadow)
         return sketch
@@ -94,38 +90,21 @@ def _hlll_loader(p: int) -> Callable[[np.ndarray], Any]:
 
 def _cpc_loader(p: int) -> Callable[[np.ndarray], Any]:
     def load(hashes: np.ndarray) -> Any:
-        sketch = CpcSketch(p)
-        sketch.pcsa._bitmaps = pcsa_state(hashes, p)
-        return sketch
+        return ingest_hashes(CpcSketch(p), hashes)
 
     return load
 
 
 def _spike_loader(buckets: int) -> Callable[[np.ndarray], Any]:
     def load(hashes: np.ndarray) -> Any:
-        sketch = SpikeSketch(buckets)
-        sketch._registers = spikesketch_state(hashes, buckets)
-        return sketch
+        return ingest_hashes(SpikeSketch(buckets), hashes)
 
     return load
 
 
 def _sparse_ell_loader(t: int, d: int, p: int, v: int = 26) -> Callable[[np.ndarray], Any]:
-    from repro.experiments.figure9 import tokenize_batch
-
-    params = make_params(t, d, p)
-
     def load(hashes: np.ndarray) -> Any:
-        sketch = SparseExaLogLog(t, d, p, v)
-        tokens = np.unique(tokenize_batch(hashes, v))
-        if len(tokens) <= sketch.break_even_tokens:
-            sketch._tokens = set(int(w) for w in tokens)
-        else:
-            sketch._tokens = None
-            sketch._dense = ExaLogLog.from_registers(
-                params, exaloglog_state(hashes, params)
-            )
-        return sketch
+        return ingest_hashes(SparseExaLogLog(t, d, p, v), hashes)
 
     return load
 

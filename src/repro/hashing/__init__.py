@@ -4,6 +4,11 @@ ExaLogLog and every baseline sketch consume uniformly distributed 64-bit
 hash values (paper Sec. 4). This subpackage implements the hash functions
 from scratch and provides :func:`hash64`, the convenience entry point the
 sketches use when fed raw Python objects.
+
+:mod:`repro.hashing.batch` is the NumPy-vectorised front end (bit-
+identical to :func:`hash64` over whole arrays); it is imported lazily by
+the bulk-ingest paths so that importing this package stays dependency-
+light.
 """
 
 from __future__ import annotations

@@ -1,0 +1,145 @@
+"""NumPy-vectorised 64-bit hashing (the bulk front end of the hash layer).
+
+The scalar entry point :func:`repro.hashing.hash64` hashes the canonical
+byte encoding of an item with Murmur3 (x64-128, low lane). This module
+produces *bit-identical* hashes for whole arrays at once, so raw items —
+not just precomputed hash values — can be ingested in bulk.
+
+The key observation: the canonical encoding of every int64/uint64/float64
+is at most 9 bytes (8 payload bytes, plus one sign/carry byte exactly for
+``uint64 >= 2**63`` and for ``int64 min``), and Murmur3 of a <16-byte
+input runs entirely in its tail path — a fixed sequence of 64-bit wrapping
+multiplies, rotations and XORs that vectorises directly on uint64 arrays.
+Objects without a fixed-width encoding (str, bytes, big ints) fall back to
+the scalar hash per element, still yielding one contiguous hash array.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.hashing import hash64
+
+_U64 = np.uint64
+
+_C1 = _U64(0x87C37B91114253D5)
+_C2 = _U64(0x4CF5AD432745937F)
+_FMIX_1 = _U64(0xFF51AFD7ED558CCD)
+_FMIX_2 = _U64(0xC4CEB9FE1A85EC53)
+
+#: Hash batches chunk-wise so the ~15 temporaries of the Murmur3 tail stay
+#: cache-resident (same rationale and size as repro.backends.bulk.BULK_CHUNK).
+_HASH_CHUNK = 1 << 18
+
+
+def _rotl64(x: np.ndarray, r: int) -> np.ndarray:
+    return (x << _U64(r)) | (x >> _U64(64 - r))
+
+
+def _fmix64(k: np.ndarray) -> np.ndarray:
+    k = (k ^ (k >> _U64(33))) * _FMIX_1
+    k = (k ^ (k >> _U64(33))) * _FMIX_2
+    return k ^ (k >> _U64(33))
+
+
+def _murmur3_64_tail_chunk(
+    payload: np.ndarray, high_byte: np.ndarray, length: np.ndarray, seed: int
+) -> np.ndarray:
+    """Murmur3 x64-128 low lane of 8/9-byte little-endian inputs.
+
+    ``payload`` holds the low 8 encoding bytes as a uint64, ``high_byte``
+    the 9th byte (0 for 8-byte lanes, where its k2 contribution is a
+    no-op), ``length`` the encoded byte count (8 or 9).
+    """
+    h1 = np.full(payload.shape, _U64(seed & 0xFFFFFFFFFFFFFFFF))
+    h2 = h1.copy()
+
+    k2 = _rotl64(high_byte * _C2, 33) * _C1
+    h2 = h2 ^ k2
+
+    k1 = _rotl64(payload * _C1, 31) * _C2
+    h1 = h1 ^ k1
+
+    h1 = h1 ^ length
+    h2 = h2 ^ length
+    h1 = h1 + h2
+    h2 = h2 + h1
+    h1 = _fmix64(h1)
+    h2 = _fmix64(h2)
+    return h1 + h2
+
+
+def _murmur3_64_tail(
+    payload: np.ndarray, high_byte: np.ndarray, length: np.ndarray, seed: int
+) -> np.ndarray:
+    if len(payload) <= _HASH_CHUNK:
+        return _murmur3_64_tail_chunk(payload, high_byte, length, seed)
+    out = np.empty(len(payload), dtype=_U64)
+    for start in range(0, len(payload), _HASH_CHUNK):
+        stop = start + _HASH_CHUNK
+        out[start:stop] = _murmur3_64_tail_chunk(
+            payload[start:stop], high_byte[start:stop], length[start:stop], seed
+        )
+    return out
+
+
+def hash_u64_array(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorised ``hash64(int(value), seed)`` for an integer array.
+
+    Bit-identical to the scalar path: each element is hashed as the
+    Python integer it represents (uint64 arrays as values in
+    ``[0, 2**64)``, signed arrays as signed values), using the canonical
+    little-endian two's-complement encoding of :func:`repro.hashing.to_bytes`.
+    """
+    values = np.asarray(values)
+    if values.dtype == np.uint64:
+        payload = values
+        nine = values >= _U64(1 << 63)
+        high_byte = np.zeros(values.shape, dtype=_U64)
+    elif values.dtype.kind == "i":
+        signed = values.astype(np.int64, copy=False)
+        payload = signed.view(_U64)
+        nine = signed == np.int64(-(1 << 63))
+        high_byte = np.where(nine, _U64(0xFF), _U64(0))
+    elif values.dtype.kind == "u":
+        return hash_u64_array(values.astype(np.uint64), seed)
+    else:
+        raise TypeError(f"expected an integer array, got dtype {values.dtype}")
+    length = np.where(nine, _U64(9), _U64(8))
+    return _murmur3_64_tail(payload, high_byte, length, seed)
+
+
+def hash_f64_array(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorised ``hash64(float(value), seed)`` for a float64 array.
+
+    The canonical float encoding is the 8-byte IEEE-754 little-endian
+    pattern, i.e. exactly the uint64 bit view.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    payload = values.view(_U64)
+    zeros = np.zeros(values.shape, dtype=_U64)
+    return _murmur3_64_tail(payload, zeros, zeros + _U64(8), seed)
+
+
+def hash_items(items: "np.ndarray | Iterable[Any]", seed: int = 0) -> np.ndarray:
+    """Hash a batch of items to a uint64 array, vectorising when possible.
+
+    Integer and float64 ndarrays take the fully vectorised Murmur3 path;
+    anything else (lists of str/bytes, object arrays, generators) falls
+    back to the scalar :func:`repro.hashing.hash64` per element. Either
+    way the result is bit-identical to hashing each item individually.
+    """
+    if isinstance(items, np.ndarray):
+        if items.dtype.kind in ("i", "u") and items.dtype != np.bool_:
+            return hash_u64_array(items.reshape(-1), seed)
+        if items.dtype == np.float64:
+            return hash_f64_array(items.reshape(-1), seed)
+        items = items.reshape(-1).tolist()
+    else:
+        items = list(items)
+    out = np.empty(len(items), dtype=_U64)
+    for position, item in enumerate(items):
+        out[position] = hash64(item, seed)
+    return out

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.batch import split_hashes
+from repro.backends import split_hashes
 from repro.core.distribution import rho_table
 from repro.core.params import ExaLogLogParams
 from repro.simulation.rng import random_hashes

@@ -61,6 +61,30 @@ def _ml_estimate(
     return estimate, solution.iterations
 
 
+def bulk_final_registers(
+    schedule: EventSchedule, params: ExaLogLogParams
+) -> list[int]:
+    """Final register state of a schedule via the bulk backend.
+
+    Event schedules are ``(register, update value)`` pairs, exactly what
+    the backend's vectorised fold consumes — so when only the end state
+    matters (no per-checkpoint estimates), the whole replay loop reduces
+    to one fold. Identical to ``replay(...).registers``.
+    """
+    from repro.backends import exaloglog_registers_from_pairs, supports_int64_registers
+
+    if len(schedule) == 0 or not supports_int64_registers(params):
+        from repro.core.register import update as update_register
+
+        registers = [0] * params.m
+        for i, k in zip(schedule.registers.tolist(), schedule.values.tolist()):
+            registers[i] = update_register(registers[i], k, params.d)
+        return registers
+    return exaloglog_registers_from_pairs(
+        schedule.registers, schedule.values, params
+    ).tolist()
+
+
 def replay(
     schedule: EventSchedule,
     params: ExaLogLogParams,

@@ -94,6 +94,10 @@ class SlidingWindowDistinctCounter:
 
     def add_hash(self, hash_value: int, at: float) -> None:
         bucket = self._bucket_of(at)
+        self._sketch_for(bucket).add_hash(hash_value)
+
+    def _sketch_for(self, bucket: int) -> ExaLogLog:
+        """The bucket's sketch, creating (and evicting) as needed."""
         sketch = self._sketches.get(bucket)
         if sketch is None:
             sketch = ExaLogLog(self._t, self._d, self._p)
@@ -101,7 +105,52 @@ class SlidingWindowDistinctCounter:
             # Keep insertion order sorted by bucket index for eviction.
             self._sketches = OrderedDict(sorted(self._sketches.items()))
             self._evict_before(max(self._sketches))
-        sketch.add_hash(hash_value)
+        return sketch
+
+    def add_batch(self, items: Any, at) -> None:
+        """Record a batch of items; ``at`` is one time or one per item."""
+        from repro.hashing.batch import hash_items
+
+        self.add_hashes(hash_items(items, self._seed), at)
+
+    def add_hashes(self, hashes, at) -> None:
+        """Bulk insert hashes observed at time(s) ``at``.
+
+        ``at`` may be a scalar (whole batch in one bucket) or an array of
+        per-item timestamps. Buckets are processed in first-appearance
+        order, so creations — and therefore evictions, which only happen
+        at creation time — occur exactly as in the sequential loop; the
+        final state is identical.
+        """
+        import numpy as np
+
+        from repro.backends import as_hash_array
+
+        hashes = as_hash_array(hashes)
+        if hashes.size == 0:
+            return
+        at_array = np.asarray(at, dtype=np.float64)
+        if at_array.ndim == 0:
+            self._sketch_for(self._bucket_of(float(at_array))).add_hashes(hashes)
+            return
+        at_array = at_array.reshape(-1)
+        if len(at_array) != len(hashes):
+            raise ValueError(
+                f"timestamp/hash length mismatch: {len(at_array)} vs {len(hashes)}"
+            )
+        buckets = np.floor_divide(at_array, self._bucket_width).astype(np.int64)
+        unique_buckets, first_positions = np.unique(buckets, return_index=True)
+        appearance = np.argsort(first_positions, kind="stable")
+        # One stable sort + segment slicing (as in the aggregator scatter)
+        # instead of a full-array mask per bucket.
+        order = np.argsort(buckets, kind="stable")
+        sorted_buckets = buckets[order]
+        starts = np.searchsorted(sorted_buckets, unique_buckets, side="left")
+        ends = np.searchsorted(sorted_buckets, unique_buckets, side="right")
+        for position in appearance.tolist():
+            bucket = int(unique_buckets[position])
+            segment = order[starts[position] : ends[position]]
+            self._sketch_for(bucket).add_hashes(hashes[segment])
 
     # -- queries --------------------------------------------------------------------
 

@@ -1,0 +1,201 @@
+"""The BulkBackend contract: bulk state == sequential state, bit for bit.
+
+Every sketch with a vectorised ``add_hashes`` must produce a state whose
+``to_bytes()`` serialization is identical to the one the sequential
+``add_hash`` loop produces — across random seeds, duplicate-heavy
+streams, chunked ingestion, scalar/bulk interleaving, and (for the
+sparse sketch) the sparse→dense transition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpc import CpcSketch
+from repro.baselines.exact import ExactCounter
+from repro.baselines.hyperloglog import HyperLogLog, MartingaleHyperLogLog
+from repro.baselines.pcsa import PCSA
+from repro.baselines.spikesketch import SpikeSketch
+from repro.baselines.ultraloglog import ExtendedHyperLogLog, UltraLogLog
+from repro.backends import supports_bulk
+from repro.core.exaloglog import ExaLogLog
+from repro.core.martingale import MartingaleExaLogLog
+from repro.core.sparse import SparseExaLogLog
+from tests.conftest import SMALL_PARAMS
+
+FACTORIES = [
+    ("ELL(2,20,8)", lambda: ExaLogLog(2, 20, 8)),
+    ("ELL(0,0,4)", lambda: ExaLogLog(0, 0, 4)),
+    ("ELL(1,9,6)", lambda: ExaLogLog(1, 9, 6)),
+    ("ELL(3,5,4)", lambda: ExaLogLog(3, 5, 4)),
+    ("SparseELL(2,20,8)", lambda: SparseExaLogLog(2, 20, 8)),
+    ("SparseELL(2,20,6,v=10)", lambda: SparseExaLogLog(2, 20, 6, v=10)),
+    ("ULL(p=8)", lambda: UltraLogLog(8)),
+    ("EHLL(p=6)", lambda: ExtendedHyperLogLog(6)),
+    ("MartingaleELL(2,20,6)", lambda: MartingaleExaLogLog(2, 20, 6)),
+    ("HLL(p=8)", lambda: HyperLogLog(8)),
+    ("MartingaleHLL(p=6)", lambda: MartingaleHyperLogLog(6)),
+    ("PCSA(p=6)", lambda: PCSA(6)),
+    ("SpikeSketch(64)", lambda: SpikeSketch(64)),
+    ("CPC(p=8)", lambda: CpcSketch(8)),
+    ("Exact", lambda: ExactCounter()),
+]
+
+
+def random_stream(seed: int, count: int, pool: int | None = None) -> np.ndarray:
+    rng = np.random.Generator(np.random.PCG64(seed))
+    if pool is None:
+        return rng.integers(0, 1 << 64, size=count, dtype=np.uint64)
+    values = rng.integers(0, 1 << 64, size=pool, dtype=np.uint64)
+    return rng.choice(values, size=count)
+
+
+def sequential(factory, hashes: np.ndarray):
+    sketch = factory()
+    for hash_value in hashes.tolist():
+        sketch.add_hash(hash_value)
+    return sketch
+
+
+@pytest.mark.parametrize("name,factory", FACTORIES, ids=[n for n, _ in FACTORIES])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_bulk_matches_sequential(name, factory, seed):
+    hashes = random_stream(seed, 4000)
+    bulk = factory().add_hashes(hashes)
+    assert bulk.to_bytes() == sequential(factory, hashes).to_bytes()
+
+
+@pytest.mark.parametrize("name,factory", FACTORIES, ids=[n for n, _ in FACTORIES])
+def test_bulk_matches_sequential_duplicate_heavy(name, factory):
+    hashes = random_stream(7, 4000, pool=150)
+    bulk = factory().add_hashes(hashes)
+    assert bulk.to_bytes() == sequential(factory, hashes).to_bytes()
+
+
+@pytest.mark.parametrize("name,factory", FACTORIES, ids=[n for n, _ in FACTORIES])
+def test_chunked_and_interleaved_ingestion(name, factory):
+    hashes = random_stream(9, 3000)
+    chunked = factory()
+    for part in np.array_split(hashes, 7):
+        chunked.add_hashes(part)
+    mixed = factory()
+    mixed.add_hashes(hashes[:1000])
+    for hash_value in hashes[1000:2000].tolist():
+        mixed.add_hash(hash_value)
+    mixed.add_hashes(hashes[2000:])
+    expected = sequential(factory, hashes).to_bytes()
+    assert chunked.to_bytes() == expected
+    assert mixed.to_bytes() == expected
+
+
+@pytest.mark.parametrize("name,factory", FACTORIES, ids=[n for n, _ in FACTORIES])
+def test_empty_batch_is_identity(name, factory):
+    sketch = factory().add_hashes(random_stream(4, 100))
+    before = sketch.to_bytes()
+    sketch.add_hashes(np.empty(0, dtype=np.uint64))
+    sketch.add_hashes([])
+    assert sketch.to_bytes() == before
+    assert supports_bulk(sketch)
+
+
+@pytest.mark.parametrize("params", SMALL_PARAMS, ids=str)
+def test_exaloglog_all_structural_regimes(params):
+    hashes = random_stream(11, 3000)
+    factory = lambda: ExaLogLog.from_params(params)
+    assert factory().add_hashes(hashes).to_bytes() == sequential(factory, hashes).to_bytes()
+
+
+def test_bulk_accepts_plain_iterables_and_int64_views():
+    hashes = random_stream(5, 500)
+    expected = sequential(lambda: ExaLogLog(2, 20, 6), hashes).to_bytes()
+    as_list = ExaLogLog(2, 20, 6).add_hashes(hashes.tolist())
+    as_signed = ExaLogLog(2, 20, 6).add_hashes(hashes.view(np.int64))
+    assert as_list.to_bytes() == expected
+    assert as_signed.to_bytes() == expected
+
+
+class TestSparseDenseTransition:
+    """The break-even crossing must be bulk-exact in every split."""
+
+    def break_even(self) -> int:
+        return SparseExaLogLog(2, 20, 8).break_even_tokens
+
+    @pytest.mark.parametrize("offset", [-2, -1, 0, 1, 2, 50])
+    def test_crossing_in_one_batch(self, offset):
+        count = self.break_even() + offset
+        hashes = random_stream(20 + offset, count)
+        factory = lambda: SparseExaLogLog(2, 20, 8)
+        bulk = factory().add_hashes(hashes)
+        seq = sequential(factory, hashes)
+        assert bulk.is_sparse == seq.is_sparse
+        assert bulk.to_bytes() == seq.to_bytes()
+
+    @pytest.mark.parametrize("split", [1, 100, 223, 224, 225, 400])
+    def test_crossing_between_batches(self, split):
+        hashes = random_stream(31, 600)
+        factory = lambda: SparseExaLogLog(2, 20, 8)
+        bulk = factory()
+        bulk.add_hashes(hashes[:split])
+        bulk.add_hashes(hashes[split:])
+        seq = sequential(factory, hashes)
+        assert bulk.is_sparse == seq.is_sparse
+        assert bulk.to_bytes() == seq.to_bytes()
+
+    def test_huge_duplicate_heavy_batches(self):
+        factory = lambda: SparseExaLogLog(2, 20, 8)
+        for pool, seed in ((200, 40), (260, 41)):
+            hashes = random_stream(seed, 50_000, pool=pool)
+            bulk = factory().add_hashes(hashes)
+            seq = sequential(factory, hashes)
+            assert bulk.is_sparse == seq.is_sparse
+            assert bulk.to_bytes() == seq.to_bytes()
+
+    def test_bulk_after_dense(self):
+        factory = lambda: SparseExaLogLog(2, 20, 8)
+        hashes = random_stream(50, 2000)
+        bulk = factory().add_hashes(hashes[:1500])
+        assert not bulk.is_sparse
+        bulk.add_hashes(hashes[1500:])
+        assert bulk.to_bytes() == sequential(factory, hashes).to_bytes()
+
+
+class TestMartingaleBulk:
+    """Order-dependent estimators must keep their exact estimate sequence."""
+
+    def test_martingale_exaloglog_estimate_preserved(self):
+        hashes = random_stream(60, 2000)
+        seq = sequential(lambda: MartingaleExaLogLog(2, 20, 6), hashes)
+        bulk = MartingaleExaLogLog(2, 20, 6).add_hashes(hashes)
+        assert bulk.martingale_estimate == seq.martingale_estimate
+        assert bulk.mu == seq.mu
+
+    def test_martingale_hyperloglog_estimate_preserved(self):
+        hashes = random_stream(61, 2000)
+        seq = sequential(lambda: MartingaleHyperLogLog(6), hashes)
+        bulk = MartingaleHyperLogLog(6).add_hashes(hashes)
+        assert bulk.estimate() == seq.estimate()
+        assert bulk.mu == seq.mu
+
+
+def test_signed_arrays_on_scalar_fallback_paths():
+    """Scalar-loop fallbacks must canonicalize like as_hash_array does."""
+    signed = np.array([-1, -12345, 7], dtype=np.int64)
+    unsigned = signed.view(np.uint64)
+    for factory in (
+        lambda: MartingaleExaLogLog(2, 20, 8),
+        lambda: MartingaleHyperLogLog(6),
+        lambda: ExaLogLog(0, 60, 4),  # register_bits > 63: scalar fallback
+    ):
+        assert (
+            factory().add_hashes(signed).to_bytes()
+            == factory().add_hashes(unsigned).to_bytes()
+        )
+
+
+def test_exact_counter_mixed_scalar_bulk_canonicalizes():
+    counter = ExactCounter()
+    counter.add_hash(-1)
+    counter.add_hashes(np.array([-1], dtype=np.int64))
+    counter.add_hashes(np.array([(1 << 64) - 1], dtype=np.uint64))
+    assert counter.estimate() == 1.0

@@ -1,0 +1,70 @@
+"""Vectorised hashing must match the scalar ``hash64`` bit for bit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import hash64
+from repro.hashing.batch import hash_f64_array, hash_items, hash_u64_array
+
+
+def test_uint64_edge_values_and_seeds():
+    values = np.array(
+        [0, 1, 2, 255, (1 << 63) - 1, 1 << 63, (1 << 63) + 1, (1 << 64) - 1],
+        dtype=np.uint64,
+    )
+    for seed in (0, 1, 42, 0xDEADBEEF):
+        expected = [hash64(int(v), seed) for v in values.tolist()]
+        assert hash_u64_array(values, seed).tolist() == expected
+
+
+def test_random_uint64_batch():
+    rng = np.random.Generator(np.random.PCG64(2))
+    values = rng.integers(0, 1 << 64, size=5000, dtype=np.uint64)
+    expected = [hash64(int(v)) for v in values.tolist()]
+    assert hash_u64_array(values).tolist() == expected
+
+
+def test_signed_int64_including_min():
+    values = np.array(
+        [0, -1, 1, -(1 << 63), -(1 << 63) + 1, (1 << 63) - 1, -123456789],
+        dtype=np.int64,
+    )
+    expected = [hash64(int(v), 3) for v in values.tolist()]
+    assert hash_u64_array(values, 3).tolist() == expected
+
+
+def test_narrow_integer_dtypes():
+    for dtype in (np.int8, np.int16, np.int32, np.uint8, np.uint16, np.uint32):
+        info = np.iinfo(dtype)
+        values = np.array([info.min, 0, 1, info.max], dtype=dtype)
+        expected = [hash64(int(v), 9) for v in values.tolist()]
+        assert hash_items(values, 9).tolist() == expected
+
+
+def test_float64_array():
+    values = np.array([0.0, -0.0, 1.5, -2.75, 1e300, float("inf"), float("-inf")])
+    expected = [hash64(float(v), 5) for v in values.tolist()]
+    assert hash_f64_array(values, 5).tolist() == expected
+
+
+def test_object_fallback_matches_scalar():
+    items = ["alice", b"bob", bytearray(b"carol"), 7, -7, 3.5, True, False, ""]
+    expected = [hash64(item, 1) for item in items]
+    assert hash_items(items, 1).tolist() == expected
+
+
+def test_generator_input():
+    expected = [hash64(f"user-{i}") for i in range(100)]
+    assert hash_items((f"user-{i}" for i in range(100))).tolist() == expected
+
+
+def test_rejects_non_integer_fast_path():
+    with pytest.raises(TypeError):
+        hash_u64_array(np.array([1.5, 2.5]))
+
+
+def test_empty_inputs():
+    assert len(hash_items([])) == 0
+    assert len(hash_items(np.empty(0, dtype=np.uint64))) == 0

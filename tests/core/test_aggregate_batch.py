@@ -1,0 +1,93 @@
+"""DistinctCountAggregator.add_batch: exact vs per-item, round-trippable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregate import DistinctCountAggregator
+
+
+def make_pairs(count: int, groups: int, seed: int = 0):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    keys = [f"group-{int(g)}" for g in rng.integers(0, groups, size=count)]
+    items = rng.integers(0, 1 << 63, size=count, dtype=np.int64)
+    return keys, items
+
+
+@pytest.mark.parametrize("sparse", [True, False], ids=["sparse", "dense"])
+def test_add_batch_matches_per_item_add_exactly(sparse):
+    keys, items = make_pairs(5000, 12, seed=1)
+    one_by_one = DistinctCountAggregator(t=2, d=20, p=6, sparse=sparse)
+    for key, item in zip(keys, items.tolist()):
+        one_by_one.add(key, item)
+    batched = DistinctCountAggregator(t=2, d=20, p=6, sparse=sparse)
+    batched.add_batch(keys, items)
+    assert batched == one_by_one
+    assert batched.estimates() == one_by_one.estimates()
+    assert batched.to_bytes() == one_by_one.to_bytes()
+
+
+def test_add_batch_round_trips_through_serialization():
+    keys, items = make_pairs(4000, 8, seed=2)
+    aggregator = DistinctCountAggregator(t=2, d=20, p=6)
+    aggregator.add_batch(keys, items)
+    restored = DistinctCountAggregator.from_bytes(aggregator.to_bytes())
+    assert restored == aggregator
+    assert restored.estimates() == aggregator.estimates()
+    assert restored.to_bytes() == aggregator.to_bytes()
+
+
+def test_add_batch_incremental_equals_single_batch():
+    keys, items = make_pairs(3000, 5, seed=3)
+    single = DistinctCountAggregator().add_batch(keys, items)
+    incremental = DistinctCountAggregator()
+    for start in range(0, len(keys), 500):
+        incremental.add_batch(keys[start : start + 500], items[start : start + 500])
+    assert incremental == single
+
+
+def test_add_batch_mixed_with_add_and_merge():
+    keys, items = make_pairs(2000, 6, seed=4)
+    reference = DistinctCountAggregator()
+    for key, item in zip(keys, items.tolist()):
+        reference.add(key, item)
+    left = DistinctCountAggregator().add_batch(keys[:1000], items[:1000])
+    right = DistinctCountAggregator().add_batch(keys[1000:], items[1000:])
+    assert left.merge(right) == reference
+
+
+def test_add_pairs_routes_through_batch():
+    keys, items = make_pairs(800, 4, seed=5)
+    via_pairs = DistinctCountAggregator().add_pairs(zip(keys, items.tolist()))
+    via_batch = DistinctCountAggregator().add_batch(keys, items)
+    assert via_pairs == via_batch
+
+
+def test_add_batch_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        DistinctCountAggregator().add_batch(["a", "b"], np.array([1], dtype=np.int64))
+
+
+def test_add_batch_empty_is_identity():
+    aggregator = DistinctCountAggregator().add_batch([], np.empty(0, dtype=np.int64))
+    assert len(aggregator) == 0
+
+
+def test_add_batch_heterogeneous_group_keys():
+    keys = ["de", b"at", 7, 7.0, "de"] * 100
+    items = np.arange(500, dtype=np.int64)
+    reference = DistinctCountAggregator()
+    for key, item in zip(keys, items.tolist()):
+        reference.add(key, item)
+    assert DistinctCountAggregator().add_batch(keys, items) == reference
+
+
+def test_add_batch_ndarray_group_keys():
+    rng = np.random.Generator(np.random.PCG64(6))
+    keys = rng.integers(0, 5, size=400)
+    items = rng.integers(0, 1 << 40, size=400, dtype=np.int64)
+    reference = DistinctCountAggregator()
+    for key, item in zip(keys.tolist(), items.tolist()):
+        reference.add(key, item)
+    assert DistinctCountAggregator().add_batch(keys, items) == reference

@@ -78,3 +78,80 @@ class TestQueries:
 
     def test_repr(self):
         assert "active=0" in repr(SlidingWindowDistinctCounter(window=10.0))
+
+
+class TestBulkIngestion:
+    """add_batch/add_hashes must equal the sequential add loop exactly."""
+
+    def _reference(self, pairs, **kwargs):
+        counter = SlidingWindowDistinctCounter(**kwargs)
+        for item, at in pairs:
+            counter.add(item, at=at)
+        return counter
+
+    @staticmethod
+    def _state(counter):
+        return {
+            bucket: sketch.to_bytes()
+            for bucket, sketch in counter._sketches.items()
+        }
+
+    def test_scalar_timestamp_batch(self):
+        import numpy as np
+
+        items = np.arange(500, dtype=np.int64)
+        reference = self._reference(
+            [(int(i), 7.0) for i in items], window=60.0, buckets=6, p=6
+        )
+        bulk = SlidingWindowDistinctCounter(window=60.0, buckets=6, p=6)
+        bulk.add_batch(items, at=7.0)
+        assert self._state(bulk) == self._state(reference)
+
+    def test_per_item_timestamps_with_expiry(self):
+        import numpy as np
+
+        rng = np.random.Generator(np.random.PCG64(8))
+        items = rng.integers(0, 1 << 62, size=3000, dtype=np.int64)
+        times = np.sort(rng.uniform(0.0, 500.0, size=3000))
+        reference = self._reference(
+            zip(items.tolist(), times.tolist()), window=60.0, buckets=6, p=6
+        )
+        bulk = SlidingWindowDistinctCounter(window=60.0, buckets=6, p=6)
+        bulk.add_batch(items, at=times)
+        assert self._state(bulk) == self._state(reference)
+        assert bulk.estimate(now=500.0) == reference.estimate(now=500.0)
+
+    def test_out_of_order_timestamps(self):
+        import numpy as np
+
+        rng = np.random.Generator(np.random.PCG64(9))
+        items = rng.integers(0, 1 << 62, size=2000, dtype=np.int64)
+        times = rng.uniform(0.0, 300.0, size=2000)  # unsorted
+        reference = self._reference(
+            zip(items.tolist(), times.tolist()), window=50.0, buckets=5, p=6
+        )
+        bulk = SlidingWindowDistinctCounter(window=50.0, buckets=5, p=6)
+        bulk.add_batch(items, at=times)
+        assert self._state(bulk) == self._state(reference)
+
+    def test_chunked_equals_single_batch(self):
+        import numpy as np
+
+        rng = np.random.Generator(np.random.PCG64(10))
+        items = rng.integers(0, 1 << 62, size=1500, dtype=np.int64)
+        times = np.sort(rng.uniform(0.0, 200.0, size=1500))
+        single = SlidingWindowDistinctCounter(window=40.0, buckets=4, p=6)
+        single.add_batch(items, at=times)
+        chunked = SlidingWindowDistinctCounter(window=40.0, buckets=4, p=6)
+        for start in range(0, 1500, 250):
+            chunked.add_batch(items[start : start + 250], at=times[start : start + 250])
+        assert self._state(chunked) == self._state(single)
+
+    def test_length_mismatch_raises(self):
+        import numpy as np
+
+        counter = SlidingWindowDistinctCounter(window=10.0)
+        with pytest.raises(ValueError):
+            counter.add_hashes(
+                np.array([1, 2, 3], dtype=np.uint64), at=np.array([1.0, 2.0])
+            )
