@@ -33,6 +33,7 @@ from repro.core.sparse import SparseExaLogLog
 from repro.core.token import estimate_from_tokens, hash_to_token, token_to_hash
 from repro.aggregate import DistinctCountAggregator
 from repro.hashing import hash64
+from repro.parallel import ParallelBulkIngestor
 from repro.setops import (
     containment_estimate,
     difference_estimate,
@@ -50,6 +51,7 @@ __all__ = [
     "ExaLogLog",
     "ExaLogLogParams",
     "MartingaleExaLogLog",
+    "ParallelBulkIngestor",
     "SlidingWindowDistinctCounter",
     "SparseExaLogLog",
     "__version__",

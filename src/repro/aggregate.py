@@ -5,6 +5,12 @@ this module provides the equivalent building block on ExaLogLog: one small
 sketch per group, mergeable across partial aggregations (the shuffle/merge
 stage of a distributed GROUP BY), serializable as a whole.
 
+Group keys are stored in the canonical byte encoding of
+:func:`repro.hashing.to_bytes` (strings UTF-8 encoded, ints little-endian
+two's complement, bytes passed through), so ``estimates()`` and
+``groups()`` yield ``bytes`` keys; :meth:`DistinctCountAggregator.decode_key`
+recovers a display form.
+
 Example::
 
     from repro.aggregate import DistinctCountAggregator
@@ -13,7 +19,8 @@ Example::
     for country, user in events:
         agg.add(country, user)
     agg.merge_inplace(other_partition_agg)
-    print(agg.estimates())       # {"DE": 10234.1, "AT": 512.9, ...}
+    print(agg.estimates())       # {b"DE": 10234.1, b"AT": 512.9, ...}
+    print({agg.decode_key(k): v for k, v in agg.estimates().items()})
 """
 
 from __future__ import annotations
@@ -71,6 +78,50 @@ class DistinctCountAggregator:
     def _group_key(group: Hashable) -> bytes:
         return to_bytes(group)
 
+    @staticmethod
+    def decode_key(key: bytes) -> str:
+        """Display form of a canonical group key.
+
+        The :func:`repro.hashing.to_bytes` encoding is not
+        self-describing, so this assumes the common case of string
+        groups (UTF-8) and falls back to the hex digest for keys that
+        don't decode to printable text — e.g. integer groups, whose
+        little-endian padding decodes to NUL-laden strings.
+        """
+        try:
+            decoded = key.decode("utf-8")
+        except UnicodeDecodeError:
+            return key.hex()
+        return decoded if decoded.isprintable() else key.hex()
+
+    @property
+    def _config(self) -> tuple[int, int, int, bool, int]:
+        """The (t, d, p, sparse, seed) tuple shard workers rebuild from."""
+        return (self._t, self._d, self._p, self._sparse, self._seed)
+
+    @classmethod
+    def _from_keyed_hashes(
+        cls,
+        config: tuple[int, int, int, bool, int],
+        keyed_hashes: "Iterable[tuple[bytes, Any]]",
+    ) -> "DistinctCountAggregator":
+        """Build a fresh aggregator from ``(canonical key, hash array)`` pairs.
+
+        The partial-aggregator constructor of the sharded path (see
+        :mod:`repro.parallel.shard`): each group's sketch is fed its hash
+        segment through the bulk path, exactly as the sequential scatter
+        would.
+        """
+        t, d, p, sparse, seed = config
+        aggregator = cls(t, d, p, sparse, seed)
+        for key, hashes in keyed_hashes:
+            sketch = aggregator._groups.get(key)
+            if sketch is None:
+                sketch = aggregator._new_sketch()
+                aggregator._groups[key] = sketch
+            sketch.add_hashes(hashes)
+        return aggregator
+
     # -- accumulation ----------------------------------------------------------
 
     def add(self, group: Hashable, item: Any) -> "DistinctCountAggregator":
@@ -101,7 +152,7 @@ class DistinctCountAggregator:
         return self
 
     def add_batch(
-        self, groups: "Iterable[Hashable]", items: Any
+        self, groups: "Iterable[Hashable]", items: Any, workers: int | None = None
     ) -> "DistinctCountAggregator":
         """Record ``items[i]`` under ``groups[i]`` for a whole batch.
 
@@ -110,6 +161,13 @@ class DistinctCountAggregator:
         scatter feeding each group's sketch through its bulk
         ``add_hashes`` path. Estimates are exactly those of the
         equivalent per-item :meth:`add` loop.
+
+        ``workers`` opts into the sharded fold of
+        :func:`repro.parallel.parallel_group_fold`: group keys are
+        hash-partitioned across worker shards (the shuffle stage of a
+        distributed GROUP BY), partial aggregators build in parallel and
+        merge back through the exact :meth:`merge_inplace` — same final
+        state as the single-process scatter.
         """
         import numpy as np
 
@@ -143,13 +201,22 @@ class DistinctCountAggregator:
         boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
         starts = np.concatenate(([0], boundaries))
         ends = np.concatenate((boundaries, [len(order)]))
-        for start, end in zip(starts.tolist(), ends.tolist()):
-            key = keys[int(sorted_codes[start])]
+        segments = [
+            (keys[int(sorted_codes[start])], hashes[order[start:end]])
+            for start, end in zip(starts.tolist(), ends.tolist())
+        ]
+        if workers is not None and workers > 1 and len(segments) > 1:
+            from repro.parallel import parallel_group_fold
+
+            for partial in parallel_group_fold(self._config, segments, workers):
+                self.merge_inplace(partial)
+            return self
+        for key, segment_hashes in segments:
             sketch = self._groups.get(key)
             if sketch is None:
                 sketch = self._new_sketch()
                 self._groups[key] = sketch
-            sketch.add_hashes(hashes[order[start:end]])
+            sketch.add_hashes(segment_hashes)
         return self
 
     # -- queries -----------------------------------------------------------------
@@ -190,13 +257,7 @@ class DistinctCountAggregator:
             raise TypeError(
                 f"cannot merge DistinctCountAggregator with {type(other).__name__}"
             )
-        if (self._t, self._d, self._p, self._sparse, self._seed) != (
-            other._t,
-            other._d,
-            other._p,
-            other._sparse,
-            other._seed,
-        ):
+        if self._config != other._config:
             raise ValueError("aggregator configurations differ")
         for key, sketch in other._groups.items():
             mine = self._groups.get(key)
@@ -246,26 +307,28 @@ class DistinctCountAggregator:
         for _ in range(count):
             key_length, offset = read_uvarint(data, offset)
             key = bytes(data[offset : offset + key_length])
+            if len(key) != key_length:
+                raise SerializationError("truncated aggregator group key")
             offset += key_length
             blob_length, offset = read_uvarint(data, offset)
             blob = bytes(data[offset : offset + blob_length])
-            offset += blob_length
             if len(blob) != blob_length:
                 raise SerializationError("truncated aggregator group payload")
+            offset += blob_length
             if sparse_flag:
                 aggregator._groups[key] = SparseExaLogLog.from_bytes(blob)
             else:
                 aggregator._groups[key] = ExaLogLog.from_bytes(blob)
+        if offset != len(data):
+            raise SerializationError(
+                f"{len(data) - offset} trailing bytes after aggregator payload"
+            )
         return aggregator
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DistinctCountAggregator):
             return NotImplemented
-        return (
-            (self._t, self._d, self._p, self._sparse, self._seed)
-            == (other._t, other._d, other._p, other._sparse, other._seed)
-            and self._groups == other._groups
-        )
+        return self._config == other._config and self._groups == other._groups
 
     def __repr__(self) -> str:
         return (

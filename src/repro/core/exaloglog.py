@@ -169,13 +169,21 @@ class ExaLogLog:
 
         return self.add_hashes(hash_items(items, seed))
 
-    def add_hashes(self, hashes) -> "ExaLogLog":
+    def add_hashes(self, hashes, workers: int | None = None) -> "ExaLogLog":
         """Vectorised bulk insert of 64-bit hashes (ndarray or iterable).
 
         Inserts are commutative and idempotent, so the batch folds
         set-wise into a register array and merges via Algorithm 5; the
         result is bit-identical to the sequential :meth:`add_hash` loop
         (the :class:`repro.backends.BulkBackend` contract).
+
+        ``workers`` opts into the process-pool fan-out of
+        :class:`repro.parallel.ParallelBulkIngestor`: chunk-aligned
+        slices fold on separate processes and their register arrays
+        reduce through the exact Algorithm 5 merge, so the final state
+        stays bit-identical regardless of worker count. Worth it for
+        batches far beyond one chunk; ``None``/``1`` keeps the
+        single-process fold.
         """
         from repro import backends
 
@@ -185,7 +193,12 @@ class ExaLogLog:
         hashes = backends.as_hash_array(hashes)
         if len(hashes) == 0:
             return self
-        batch = backends.exaloglog_registers(hashes, params)
+        if workers is not None and workers > 1:
+            from repro.parallel import ParallelBulkIngestor
+
+            batch = ParallelBulkIngestor(params, workers).registers(hashes)
+        else:
+            batch = backends.exaloglog_registers(hashes, params)
         if any(self._registers):
             merged = backends.merge_exaloglog_registers(
                 self._registers, batch, params.d

@@ -1,0 +1,33 @@
+"""Multi-core ingest: process-pool fan-out and sharded aggregation.
+
+Builds the ROADMAP's parallel execution layer on top of the bulk-ingest
+backends: :class:`ParallelBulkIngestor` fans chunk-aligned hash slices out
+to a ``multiprocessing`` pool and reduces the per-slice register arrays
+exactly (bit-identical to the sequential fold), and
+:func:`parallel_group_fold` hash-partitions group keys into worker shards
+that build partial :class:`~repro.aggregate.DistinctCountAggregator`\\ s
+merged by the existing exact merge. Entry points are the opt-in
+``workers=`` parameters on ``ExaLogLog.add_hashes``,
+``DistinctCountAggregator.add_batch`` and
+``SlidingWindowDistinctCounter.add_hashes``.
+"""
+
+from repro.parallel.ingest import (
+    ParallelBulkIngestor,
+    parallel_exaloglog_registers,
+    preferred_start_method,
+)
+from repro.parallel.shard import (
+    parallel_group_fold,
+    partition_groups,
+    shard_of,
+)
+
+__all__ = [
+    "ParallelBulkIngestor",
+    "parallel_exaloglog_registers",
+    "parallel_group_fold",
+    "partition_groups",
+    "preferred_start_method",
+    "shard_of",
+]

@@ -1,0 +1,199 @@
+"""Process-pool fan-out for the ExaLogLog bulk fold (multi-core ingest).
+
+The chunk folds in :mod:`repro.backends.bulk` are pure functions of a hash
+slice, and :func:`~repro.backends.bulk.merge_exaloglog_registers` is exact,
+so a batch parallelises without approximation: split the hash array into
+:data:`~repro.backends.bulk.BULK_CHUNK`-aligned slices, fold each slice on
+its own worker process, and reduce the per-slice register arrays with the
+vectorised Algorithm 5 merge. The reduction is associative and
+commutative, so the result is **bit-identical** to the sequential
+``add_hashes`` fold — and therefore to the scalar ``add_hash`` loop (the
+:class:`repro.backends.BulkBackend` contract survives the pool).
+
+Two worker transports, chosen by start method:
+
+* ``fork`` (Linux default) — the parent publishes the hash array in a
+  module global right before forking the pool, so workers inherit it
+  copy-on-write and receive only ``(start, stop)`` bounds: no per-slice
+  pickling of hash data.
+* ``spawn`` / ``forkserver`` — workers are fresh interpreters, so each
+  job carries its hash slice (pickled once per slice). Both worker
+  functions live at module top level and take picklable arguments
+  (:class:`~repro.core.params.ExaLogLogParams` is a plain frozen
+  dataclass), so every start method works.
+
+Pools are created per call: fan-out only pays off for batches far beyond
+one chunk, where the fold dwarfs the pool start-up, and per-call pools
+keep the fork transport coherent (the payload global must be set before
+the fork happens).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import numpy as np
+
+from repro.backends.bitops import as_hash_array
+from repro.backends.bulk import (
+    BULK_CHUNK,
+    exaloglog_registers,
+    merge_exaloglog_registers,
+    supports_int64_registers,
+)
+from repro.core.params import ExaLogLogParams
+
+#: Hash array published to fork workers (copy-on-write inheritance). Only
+#: set between acquiring :data:`_FORK_LOCK` and the fork itself — workers
+#: capture their copy at fork time, so the parent resets it immediately
+#: after the pool exists (nothing is pinned, concurrent callers can't
+#: observe each other's payload).
+_FORK_PAYLOAD: np.ndarray | None = None
+_FORK_LOCK = threading.Lock()
+
+
+def preferred_start_method() -> str:
+    """The platform's cheapest safe start method (fork where available)."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _fold_fork_bounds(job: tuple[int, int, ExaLogLogParams]) -> np.ndarray:
+    """Fold a slice of the fork-inherited payload (fork transport)."""
+    start, stop, params = job
+    assert _FORK_PAYLOAD is not None
+    return exaloglog_registers(_FORK_PAYLOAD[start:stop], params)
+
+
+def _fold_slice(job: tuple[np.ndarray, ExaLogLogParams]) -> np.ndarray:
+    """Fold an explicit hash slice (spawn/forkserver transport)."""
+    hashes, params = job
+    return exaloglog_registers(hashes, params)
+
+
+class ParallelBulkIngestor:
+    """Fan an ExaLogLog hash batch out to a process pool.
+
+    Parameters
+    ----------
+    params:
+        The target sketch's parameter triple (must fit int64 registers,
+        like every vectorised bulk path).
+    workers:
+        Number of worker processes. ``1`` degenerates to the in-process
+        fold (no pool is created).
+    chunk:
+        Slice alignment; per-worker slices are multiples of this, so the
+        workers' internal chunking matches the sequential fold exactly.
+        Defaults to :data:`~repro.backends.bulk.BULK_CHUNK`; tests shrink
+        it to exercise the pool on small batches.
+    start_method:
+        ``multiprocessing`` start method; ``None`` picks
+        :func:`preferred_start_method`.
+    """
+
+    __slots__ = ("_chunk", "_params", "_start_method", "_workers")
+
+    def __init__(
+        self,
+        params: ExaLogLogParams,
+        workers: int,
+        chunk: int = BULK_CHUNK,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        if not supports_int64_registers(params):
+            raise ValueError(
+                f"{params} registers exceed int64; parallel ingest requires "
+                "the vectorised fold (register_bits <= 63)"
+            )
+        if start_method is not None and start_method not in (
+            methods := multiprocessing.get_all_start_methods()
+        ):
+            raise ValueError(
+                f"unknown start method {start_method!r}; available: {methods}"
+            )
+        self._params = params
+        self._workers = workers
+        self._chunk = chunk
+        self._start_method = start_method or preferred_start_method()
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def start_method(self) -> str:
+        return self._start_method
+
+    def slice_bounds(self, n: int) -> list[tuple[int, int]]:
+        """Chunk-aligned ``(start, stop)`` bounds, at most one per worker.
+
+        Each worker folds a contiguous run of whole chunks (the last slice
+        takes the remainder), so slice-internal chunking is identical to
+        the sequential fold's.
+        """
+        if n <= 0:
+            return []
+        total_chunks = -(-n // self._chunk)
+        span = -(-total_chunks // self._workers) * self._chunk
+        return [(start, min(start + span, n)) for start in range(0, n, span)]
+
+    def registers(self, hashes) -> np.ndarray:
+        """Register array of a fresh sketch after ingesting ``hashes``.
+
+        Bit-identical to ``exaloglog_registers(hashes, params)``; callers
+        merge it into existing state exactly as the sequential path does.
+        """
+        global _FORK_PAYLOAD
+
+        hashes = as_hash_array(hashes)
+        bounds = self.slice_bounds(len(hashes))
+        if len(bounds) <= 1 or self._workers == 1:
+            return exaloglog_registers(hashes, self._params)
+        context = multiprocessing.get_context(self._start_method)
+        if self._start_method == "fork":
+            worker = _fold_fork_bounds
+            jobs = [(start, stop, self._params) for start, stop in bounds]
+            # Workers capture the payload at fork time (pool creation);
+            # reset right after so nothing stays pinned and concurrent
+            # callers never see each other's array.
+            with _FORK_LOCK:
+                _FORK_PAYLOAD = hashes
+                try:
+                    pool = context.Pool(min(self._workers, len(jobs)))
+                finally:
+                    _FORK_PAYLOAD = None
+        else:
+            worker = _fold_slice
+            jobs = [(hashes[start:stop], self._params) for start, stop in bounds]
+            pool = context.Pool(min(self._workers, len(jobs)))
+        try:
+            partials = pool.map(worker, jobs)
+        finally:
+            pool.close()
+            pool.join()
+        reduced = partials[0]
+        for partial in partials[1:]:
+            reduced = merge_exaloglog_registers(reduced, partial, self._params.d)
+        return reduced
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelBulkIngestor({self._params}, workers={self._workers}, "
+            f"chunk={self._chunk}, start_method={self._start_method!r})"
+        )
+
+
+def parallel_exaloglog_registers(
+    hashes,
+    params: ExaLogLogParams,
+    workers: int,
+    chunk: int = BULK_CHUNK,
+    start_method: str | None = None,
+) -> np.ndarray:
+    """Functional shorthand for :meth:`ParallelBulkIngestor.registers`."""
+    return ParallelBulkIngestor(params, workers, chunk, start_method).registers(hashes)

@@ -94,33 +94,56 @@ class SlidingWindowDistinctCounter:
 
     def add_hash(self, hash_value: int, at: float) -> None:
         bucket = self._bucket_of(at)
-        self._sketch_for(bucket).add_hash(hash_value)
+        sketch = self._sketch_for(bucket)
+        if sketch is not None:
+            sketch.add_hash(hash_value)
 
-    def _sketch_for(self, bucket: int) -> ExaLogLog:
-        """The bucket's sketch, creating (and evicting) as needed."""
+    def _sketch_for(self, bucket: int) -> ExaLogLog | None:
+        """The bucket's sketch, creating (and evicting) as needed.
+
+        Returns ``None`` for a bucket that is already expired — older
+        than the whole window relative to the newest bucket seen. (A
+        created-then-evicted sketch would silently swallow the caller's
+        writes; the explicit skip also saves the wasted allocation.)
+        """
         sketch = self._sketches.get(bucket)
-        if sketch is None:
-            sketch = ExaLogLog(self._t, self._d, self._p)
-            self._sketches[bucket] = sketch
-            # Keep insertion order sorted by bucket index for eviction.
-            self._sketches = OrderedDict(sorted(self._sketches.items()))
-            self._evict_before(max(self._sketches))
+        if sketch is not None:
+            return sketch
+        newest = next(reversed(self._sketches)) if self._sketches else None
+        if newest is not None and bucket <= newest - self._buckets:
+            return None
+        sketch = ExaLogLog(self._t, self._d, self._p)
+        self._sketches[bucket] = sketch
+        if newest is not None and bucket < newest:
+            # Out-of-order (but in-window) creation: rotate the larger
+            # keys behind the new one — O(buckets) on this rare path
+            # instead of re-sorting the whole dict on every creation.
+            for key in [k for k in self._sketches if k > bucket]:
+                self._sketches.move_to_end(key)
+        else:
+            # New newest bucket: insertion order is already sorted; old
+            # buckets may now have fallen out of the window.
+            self._evict_before(bucket)
         return sketch
 
-    def add_batch(self, items: Any, at) -> None:
+    def add_batch(self, items: Any, at, workers: int | None = None) -> None:
         """Record a batch of items; ``at`` is one time or one per item."""
         from repro.hashing.batch import hash_items
 
-        self.add_hashes(hash_items(items, self._seed), at)
+        self.add_hashes(hash_items(items, self._seed), at, workers)
 
-    def add_hashes(self, hashes, at) -> None:
+    def add_hashes(self, hashes, at, workers: int | None = None) -> None:
         """Bulk insert hashes observed at time(s) ``at``.
 
         ``at`` may be a scalar (whole batch in one bucket) or an array of
         per-item timestamps. Buckets are processed in first-appearance
-        order, so creations — and therefore evictions, which only happen
-        at creation time — occur exactly as in the sequential loop; the
-        final state is identical.
+        order, so creations — and therefore evictions and expired-bucket
+        skips, which only happen at first appearance — occur exactly as
+        in the sequential loop; the final state is identical.
+
+        ``workers`` forwards to each bucket sketch's parallel
+        :meth:`~repro.core.exaloglog.ExaLogLog.add_hashes` fan-out
+        (worthwhile when single buckets receive very large segments).
         """
         import numpy as np
 
@@ -131,7 +154,9 @@ class SlidingWindowDistinctCounter:
             return
         at_array = np.asarray(at, dtype=np.float64)
         if at_array.ndim == 0:
-            self._sketch_for(self._bucket_of(float(at_array))).add_hashes(hashes)
+            sketch = self._sketch_for(self._bucket_of(float(at_array)))
+            if sketch is not None:
+                sketch.add_hashes(hashes, workers)
             return
         at_array = at_array.reshape(-1)
         if len(at_array) != len(hashes):
@@ -149,8 +174,11 @@ class SlidingWindowDistinctCounter:
         ends = np.searchsorted(sorted_buckets, unique_buckets, side="right")
         for position in appearance.tolist():
             bucket = int(unique_buckets[position])
+            sketch = self._sketch_for(bucket)
+            if sketch is None:
+                continue
             segment = order[starts[position] : ends[position]]
-            self._sketch_for(bucket).add_hashes(hashes[segment])
+            sketch.add_hashes(hashes[segment], workers)
 
     # -- queries --------------------------------------------------------------------
 

@@ -45,6 +45,17 @@ class TestAccumulation:
         aggregator = build([("x", 1), ("y", 2)])
         assert set(aggregator.estimates()) == {b"x", b"y"}
 
+    def test_decode_key(self):
+        decode = DistinctCountAggregator.decode_key
+        assert decode(b"DE") == "DE"
+        assert decode("schlüssel".encode("utf-8")) == "schlüssel"
+        # Integer keys (NUL-padded little-endian) fall back to hex, as do
+        # keys that aren't valid UTF-8 at all.
+        from repro.hashing import to_bytes
+
+        assert decode(to_bytes(65)) == to_bytes(65).hex()
+        assert decode(b"\xff\xfe") == "fffe"
+
 
 class TestMerge:
     def test_merge_equals_union(self):
@@ -101,3 +112,96 @@ class TestSerialization:
 
     def test_repr(self):
         assert "groups=0" in repr(DistinctCountAggregator())
+
+
+class TestTruncationRegression:
+    """Every proper prefix of a valid blob must raise SerializationError.
+
+    Regression: ``from_bytes`` validated inner-blob truncation but not key
+    truncation — a blob cut mid-key silently yielded a short key — and it
+    accepted trailing garbage after the last group.
+    """
+
+    @pytest.mark.parametrize("sparse", [True, False])
+    def test_truncation_at_every_offset(self, sparse):
+        from repro.storage.serialization import SerializationError
+
+        aggregator = build(
+            [(f"group-key-{i % 5}", i) for i in range(500)], sparse=sparse, p=4
+        )
+        data = aggregator.to_bytes()
+        for cut in range(len(data)):
+            with pytest.raises(SerializationError):
+                DistinctCountAggregator.from_bytes(data[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        from repro.storage.serialization import SerializationError
+
+        data = build([("g", 1)], p=4).to_bytes()
+        for tail in (b"\x00", b"\xff" * 3, data[4:]):
+            with pytest.raises(SerializationError):
+                DistinctCountAggregator.from_bytes(data + tail)
+
+    def test_truncated_key_never_yields_short_key(self):
+        """A cut inside a group key must not deserialize at all."""
+        from repro.storage.serialization import SerializationError
+
+        aggregator = build([("abcdefgh", 1)], p=4)
+        data = aggregator.to_bytes()
+        key_start = data.index(b"abcdefgh")
+        for cut in range(key_start + 1, key_start + 8):
+            with pytest.raises(SerializationError):
+                DistinctCountAggregator.from_bytes(data[:cut])
+
+
+class TestSparseDensifiedRoundTrip:
+    """Mixed sparse/densified groups must survive serialization and merge."""
+
+    def _mixed(self, heavy_items, seed_offset=0):
+        # The heavy group crosses the sparse break-even (densifies);
+        # the small groups stay in token mode.
+        pairs = [("heavy", i + seed_offset) for i in range(heavy_items)]
+        pairs += [(f"tiny-{g}", g * 1000 + i) for g in range(5) for i in range(3)]
+        return build(pairs, sparse=True, p=8)
+
+    def test_mixed_modes_exist(self):
+        aggregator = self._mixed(3000)
+        key = aggregator._group_key
+        assert not aggregator._groups[key("heavy")].is_sparse
+        assert aggregator._groups[key("tiny-0")].is_sparse
+
+    def test_roundtrip_preserves_estimates_exactly(self):
+        aggregator = self._mixed(3000)
+        restored = DistinctCountAggregator.from_bytes(aggregator.to_bytes())
+        assert restored == aggregator
+        assert restored.estimates() == aggregator.estimates()
+        assert restored.to_bytes() == aggregator.to_bytes()
+
+    @pytest.mark.parametrize("left_heavy,right_heavy", [
+        (3000, 10),    # densified group meets sparse group
+        (10, 3000),    # sparse group meets densified group
+        (3000, 3000),  # densified meets densified
+        (10, 10),      # sparse meets sparse (may densify on union)
+    ])
+    def test_merge_across_modes_matches_union(self, left_heavy, right_heavy):
+        left = self._mixed(left_heavy)
+        right = self._mixed(right_heavy, seed_offset=2000)
+        union_pairs = [("heavy", i) for i in range(left_heavy)]
+        union_pairs += [("heavy", i + 2000) for i in range(right_heavy)]
+        union_pairs += [
+            (f"tiny-{g}", g * 1000 + i) for g in range(5) for i in range(3)
+        ]
+        reference = build(union_pairs, sparse=True, p=8)
+        merged = left.merge(right)
+        assert merged.estimates() == reference.estimates()
+
+    def test_merge_of_deserialized_partials(self):
+        """Shuffle-stage shape: serialize partials, deserialize, merge."""
+        left = self._mixed(3000)
+        right = self._mixed(10, seed_offset=5000)
+        direct = left.merge(right)
+        rehydrated = DistinctCountAggregator.from_bytes(left.to_bytes()).merge(
+            DistinctCountAggregator.from_bytes(right.to_bytes())
+        )
+        assert rehydrated == direct
+        assert rehydrated.estimates() == direct.estimates()

@@ -80,6 +80,94 @@ class TestQueries:
         assert "active=0" in repr(SlidingWindowDistinctCounter(window=10.0))
 
 
+class TestExpiredBucketRegression:
+    """Late events older than the window must hit an explicit skip path.
+
+    Regression: ``_sketch_for`` used to create a sketch for an expired
+    bucket, evict it immediately, and hand the detached sketch back —
+    writes landed in state that was silently discarded (and every
+    creation re-sorted the whole bucket dict).
+    """
+
+    def _counter(self):
+        counter = SlidingWindowDistinctCounter(window=50.0, buckets=5, p=6)
+        for i in range(200):
+            counter.add(f"live-{i}", at=1000.0 + (i % 5) * 10.0)
+        return counter
+
+    def test_sketch_for_expired_bucket_is_none(self):
+        counter = self._counter()
+        assert counter._sketch_for(0) is None
+        assert counter._sketch_for(counter._bucket_of(10.0)) is None
+
+    def test_expired_add_leaves_state_unchanged(self):
+        counter = self._counter()
+        sketches = counter._sketches
+        before = (
+            counter.active_buckets,
+            counter.memory_bytes,
+            counter.estimate(now=1040.0),
+            {bucket: sketch.to_bytes() for bucket, sketch in sketches.items()},
+        )
+        for i in range(50):
+            counter.add(f"ancient-{i}", at=float(i))
+        after = (
+            counter.active_buckets,
+            counter.memory_bytes,
+            counter.estimate(now=1040.0),
+            {bucket: sketch.to_bytes() for bucket, sketch in counter._sketches.items()},
+        )
+        assert after == before
+        # No re-sort churn either: the bucket dict is never rebound.
+        assert counter._sketches is sketches
+
+    def test_scalar_and_bulk_drop_expired_identically(self):
+        import numpy as np
+
+        rng = np.random.Generator(np.random.PCG64(12))
+        items = rng.integers(0, 1 << 62, size=2000, dtype=np.int64)
+        # Half recent, half far older than the window, interleaved unsorted.
+        times = np.where(
+            rng.uniform(size=2000) < 0.5,
+            rng.uniform(950.0, 1050.0, size=2000),
+            rng.uniform(0.0, 100.0, size=2000),
+        )
+        scalar = SlidingWindowDistinctCounter(window=50.0, buckets=5, p=6)
+        for i in range(200):
+            scalar.add(f"live-{i}", at=1000.0 + (i % 5) * 10.0)
+        bulk = SlidingWindowDistinctCounter(window=50.0, buckets=5, p=6)
+        for i in range(200):
+            bulk.add(f"live-{i}", at=1000.0 + (i % 5) * 10.0)
+
+        from repro.hashing import hash64
+
+        for item, at in zip(items.tolist(), times.tolist()):
+            scalar.add_hash(hash64(item, 0), at)
+        bulk.add_batch(items, at=times)
+
+        assert {
+            bucket: sketch.to_bytes() for bucket, sketch in bulk._sketches.items()
+        } == {bucket: sketch.to_bytes() for bucket, sketch in scalar._sketches.items()}
+        assert bulk.estimate(now=1050.0) == scalar.estimate(now=1050.0)
+
+    def test_whole_expired_batch_scalar_timestamp(self):
+        counter = self._counter()
+        before = {b: s.to_bytes() for b, s in counter._sketches.items()}
+        import numpy as np
+
+        counter.add_batch(np.arange(500, dtype=np.int64), at=3.0)
+        assert {b: s.to_bytes() for b, s in counter._sketches.items()} == before
+
+    def test_out_of_order_in_window_creation_keeps_sorted_order(self):
+        counter = SlidingWindowDistinctCounter(window=50.0, buckets=5, p=6)
+        counter.add("newest", at=100.0)
+        counter.add("late-but-live", at=70.0)  # older bucket, still in window
+        counter.add("middle", at=85.0)
+        buckets = list(counter._sketches)
+        assert buckets == sorted(buckets)
+        assert counter.estimate(now=100.0) == pytest.approx(3.0, abs=0.5)
+
+
 class TestBulkIngestion:
     """add_batch/add_hashes must equal the sequential add loop exactly."""
 

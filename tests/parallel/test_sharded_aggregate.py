@@ -1,0 +1,102 @@
+"""Sharded GROUP BY: partial aggregators must merge to the sequential state."""
+
+import numpy as np
+import pytest
+
+from repro.aggregate import DistinctCountAggregator
+from repro.parallel import parallel_group_fold, partition_groups, shard_of
+
+
+def _batch(n, groups, seed=0):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return (
+        rng.integers(0, groups, size=n).astype(np.int64),
+        rng.integers(0, 1 << 40, size=n, dtype=np.int64),
+    )
+
+
+class TestPartitioning:
+    def test_shard_of_deterministic_and_in_range(self):
+        for key in (b"DE", b"AT", b"", b"\x00\x01", b"long-key" * 10):
+            for shards in (1, 2, 4, 7):
+                shard = shard_of(key, shards)
+                assert 0 <= shard < shards
+                assert shard == shard_of(key, shards)
+
+    def test_partition_covers_every_key(self):
+        keyed = [(bytes([i]), np.array([i], dtype=np.uint64)) for i in range(50)]
+        shards = partition_groups(keyed, 4)
+        assert sum(len(shard) for shard in shards) == 50
+        seen = {key for shard in shards for key, _ in shard}
+        assert seen == {key for key, _ in keyed}
+
+    def test_empty_fold(self):
+        assert parallel_group_fold((2, 20, 8, True, 0), [], 4) == []
+
+    def test_single_shard_skips_pool(self):
+        keyed = [(b"only", np.array([1, 2, 3], dtype=np.uint64))]
+        partials = parallel_group_fold((2, 20, 8, True, 0), keyed, 4)
+        assert len(partials) == 1
+        assert b"only" in partials[0]._groups
+
+
+class TestEquivalence:
+    """workers= must leave the aggregator bit-identical to the scatter path."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("sparse", [True, False])
+    def test_matches_sequential_add_batch(self, workers, sparse):
+        groups, items = _batch(20_000, 37, seed=5)
+        sequential = DistinctCountAggregator(p=6, sparse=sparse)
+        sequential.add_batch(groups, items)
+        sharded = DistinctCountAggregator(p=6, sparse=sparse)
+        sharded.add_batch(groups, items, workers=workers)
+        assert sharded == sequential
+        assert sharded.to_bytes() == sequential.to_bytes()
+
+    def test_matches_per_item_loop(self):
+        groups, items = _batch(3_000, 11, seed=6)
+        reference = DistinctCountAggregator(p=6)
+        for group, item in zip(groups.tolist(), items.tolist()):
+            reference.add(group, item)
+        sharded = DistinctCountAggregator(p=6)
+        sharded.add_batch(groups, items, workers=3)
+        assert sharded == reference
+        assert sharded.estimates() == reference.estimates()
+
+    def test_densifying_groups(self):
+        # One heavy group crosses the sparse break-even inside the worker.
+        groups = np.concatenate(
+            [np.zeros(30_000, dtype=np.int64), np.arange(1, 40, dtype=np.int64)]
+        )
+        items = np.arange(len(groups), dtype=np.int64)
+        sequential = DistinctCountAggregator(p=8).add_batch(groups, items)
+        sharded = DistinctCountAggregator(p=8).add_batch(groups, items, workers=2)
+        assert sharded == sequential
+        assert not sequential._groups[sequential._group_key(0)].is_sparse
+
+    def test_merge_into_pre_populated_aggregator(self):
+        groups_a, items_a = _batch(5_000, 13, seed=7)
+        groups_b, items_b = _batch(5_000, 13, seed=8)
+        sequential = DistinctCountAggregator(p=6)
+        sequential.add_batch(groups_a, items_a)
+        sequential.add_batch(groups_b, items_b)
+        sharded = DistinctCountAggregator(p=6)
+        sharded.add_batch(groups_a, items_a)  # existing single-process state
+        sharded.add_batch(groups_b, items_b, workers=4)
+        assert sharded == sequential
+        assert sharded.to_bytes() == sequential.to_bytes()
+
+    def test_single_group_batch(self):
+        items = np.arange(2_000, dtype=np.int64)
+        sequential = DistinctCountAggregator(p=6).add_batch(["g"] * 2_000, items)
+        sharded = DistinctCountAggregator(p=6).add_batch(
+            ["g"] * 2_000, items, workers=4
+        )
+        assert sharded == sequential
+
+    def test_workers_one_is_sequential(self):
+        groups, items = _batch(1_000, 5, seed=9)
+        a = DistinctCountAggregator(p=6).add_batch(groups, items)
+        b = DistinctCountAggregator(p=6).add_batch(groups, items, workers=1)
+        assert a == b
