@@ -41,6 +41,7 @@ from repro.setops import (
     jaccard_estimate,
     union_estimate,
 )
+from repro.store import MemmapRegisters, SketchStore, SpilledGroupBy
 from repro.windowed import SlidingWindowDistinctCounter
 
 __version__ = "1.0.0"
@@ -51,9 +52,12 @@ __all__ = [
     "ExaLogLog",
     "ExaLogLogParams",
     "MartingaleExaLogLog",
+    "MemmapRegisters",
     "ParallelBulkIngestor",
+    "SketchStore",
     "SlidingWindowDistinctCounter",
     "SparseExaLogLog",
+    "SpilledGroupBy",
     "__version__",
     "containment_estimate",
     "difference_estimate",

@@ -21,6 +21,15 @@ Example::
     agg.merge_inplace(other_partition_agg)
     print(agg.estimates())       # {b"DE": 10234.1, b"AT": 512.9, ...}
     print({agg.decode_key(k): v for k, v in agg.estimates().items()})
+
+``decode_key`` assumes string groups; keys that are not printable UTF-8
+(integer groups, arbitrary bytes) come back as their hex digest, from
+which ``bytes.fromhex`` recovers the canonical key exactly::
+
+    agg.add(1, "alice")                      # integer group
+    [key] = agg.groups()
+    assert agg.decode_key(key) == key.hex()  # '01000000...'
+    assert bytes.fromhex(agg.decode_key(key)) == key
 """
 
 from __future__ import annotations
@@ -151,23 +160,14 @@ class DistinctCountAggregator:
             self.add_batch(groups, list(items))
         return self
 
-    def add_batch(
-        self, groups: "Iterable[Hashable]", items: Any, workers: int | None = None
-    ) -> "DistinctCountAggregator":
-        """Record ``items[i]`` under ``groups[i]`` for a whole batch.
+    def _segments(
+        self, groups: "Iterable[Hashable]", items: Any
+    ) -> list[tuple[bytes, Any]]:
+        """One batch's per-group hash segments: ``(canonical key, hashes)``.
 
-        One vectorised hash pass over ``items`` (NumPy integer/float
-        arrays hash without a Python-level loop), then a per-group
-        scatter feeding each group's sketch through its bulk
-        ``add_hashes`` path. Estimates are exactly those of the
-        equivalent per-item :meth:`add` loop.
-
-        ``workers`` opts into the sharded fold of
-        :func:`repro.parallel.parallel_group_fold`: group keys are
-        hash-partitioned across worker shards (the shuffle stage of a
-        distributed GROUP BY), partial aggregators build in parallel and
-        merge back through the exact :meth:`merge_inplace` — same final
-        state as the single-process scatter.
+        One vectorised hash pass over ``items``, then a factorise + stable
+        sort scatter; the shared front end of the in-memory, sharded and
+        spilled GROUP BY paths.
         """
         import numpy as np
 
@@ -182,7 +182,7 @@ class DistinctCountAggregator:
                 f"group/item length mismatch: {len(groups)} vs {len(hashes)}"
             )
         if not groups:
-            return self
+            return []
         # Factorise group keys to integer codes (first-appearance order).
         keys: list[bytes] = []
         code_of: dict[bytes, int] = {}
@@ -201,10 +201,57 @@ class DistinctCountAggregator:
         boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
         starts = np.concatenate(([0], boundaries))
         ends = np.concatenate((boundaries, [len(order)]))
-        segments = [
+        return [
             (keys[int(sorted_codes[start])], hashes[order[start:end]])
             for start, end in zip(starts.tolist(), ends.tolist())
         ]
+
+    def add_batch(
+        self,
+        groups: "Iterable[Hashable]",
+        items: Any,
+        workers: int | None = None,
+        spill=None,
+    ) -> "DistinctCountAggregator":
+        """Record ``items[i]`` under ``groups[i]`` for a whole batch.
+
+        One vectorised hash pass over ``items`` (NumPy integer/float
+        arrays hash without a Python-level loop), then a per-group
+        scatter feeding each group's sketch through its bulk
+        ``add_hashes`` path. Estimates are exactly those of the
+        equivalent per-item :meth:`add` loop.
+
+        ``workers`` opts into the sharded fold of
+        :func:`repro.parallel.parallel_group_fold`: group keys are
+        hash-partitioned across worker shards (the shuffle stage of a
+        distributed GROUP BY), partial aggregators build in parallel and
+        merge back through the exact :meth:`merge_inplace` — same final
+        state as the single-process scatter.
+
+        ``spill`` routes the batch to a
+        :class:`repro.store.SpilledGroupBy` (or any object with
+        ``write_segments``) instead of this aggregator's in-memory
+        groups: the external GROUP BY path for aggregations whose group
+        count exceeds RAM. The spill target — not ``self`` — then owns
+        the batch's state; results come from its partition merge.
+        ``workers`` composes: the segments are forwarded for a parallel
+        spill write (shard workers appending their own partition files).
+        """
+        segments = self._segments(groups, items)
+        if not segments:
+            return self
+        if spill is not None:
+            spill_config = getattr(spill, "config", None)
+            if spill_config is not None and spill_config != self._config:
+                raise ValueError(
+                    f"spill target configuration {spill_config} differs from "
+                    f"aggregator configuration {self._config}"
+                )
+            if workers is not None and workers > 1 and len(segments) > 1:
+                spill.write_segments(segments, workers=workers)
+            else:
+                spill.write_segments(segments)
+            return self
         if workers is not None and workers > 1 and len(segments) > 1:
             from repro.parallel import parallel_group_fold
 

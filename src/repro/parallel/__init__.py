@@ -19,6 +19,7 @@ from repro.parallel.ingest import (
 )
 from repro.parallel.shard import (
     parallel_group_fold,
+    parallel_spill_write,
     partition_groups,
     shard_of,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "ParallelBulkIngestor",
     "parallel_exaloglog_registers",
     "parallel_group_fold",
+    "parallel_spill_write",
     "partition_groups",
     "preferred_start_method",
     "shard_of",

@@ -22,6 +22,7 @@ every ``multiprocessing`` start method works.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 from typing import TYPE_CHECKING, Sequence
 
@@ -82,6 +83,94 @@ def _build_partial_fork(job: tuple[AggregatorConfig, list[int]]) -> bytes:
     config, indices = job
     assert _FORK_SEGMENTS is not None
     return _build_partial((config, [_FORK_SEGMENTS[i] for i in indices]))
+
+
+def _spill_shard(job: tuple[str, int, str, "list[tuple[bytes, np.ndarray]]"]) -> int:
+    """Worker: append one shard's segments to its own spill files.
+
+    Each worker owns a distinct ``writer_id``, so the partition files it
+    creates never collide with another worker's — spill writes need no
+    cross-process coordination (see :mod:`repro.store.spill`).
+    """
+    from repro.store.spill import SpillWriter
+
+    directory, partitions, writer_id, segments = job
+    with SpillWriter(directory, partitions, writer_id) as writer:
+        writer.write_segments(segments)
+        return writer.records_written
+
+
+def _spill_shard_fork(job: tuple[str, int, str, list[int]]) -> int:
+    """Worker: spill a shard from fork-inherited segments (fork transport)."""
+    directory, partitions, writer_id, indices = job
+    assert _FORK_SEGMENTS is not None
+    return _spill_shard(
+        (directory, partitions, writer_id, [_FORK_SEGMENTS[i] for i in indices])
+    )
+
+
+def parallel_spill_write(
+    keyed_hashes: Sequence[tuple[bytes, np.ndarray]],
+    directory,
+    partitions: int,
+    workers: int,
+    start_method: str | None = None,
+) -> int:
+    """Spill ``(key, hashes)`` segments to disk on a process pool.
+
+    The write half of the external GROUP BY: segments shard exactly like
+    :func:`parallel_group_fold`, but each worker streams its shard into
+    hash-partitioned spill files instead of folding sketches in memory.
+    Workers write independently (per-writer file names); the merge pass
+    of :class:`repro.store.SpilledGroupBy` is oblivious to how many
+    writers produced the files. Returns the total records written.
+    """
+    global _FORK_SEGMENTS
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    shards = _partition_indices(keyed_hashes, workers)
+    if not shards:
+        return 0
+    directory = str(directory)
+    if len(shards) == 1:
+        segments = [keyed_hashes[i] for i in shards[0]]
+        return _spill_shard((directory, partitions, f"s0x{os.getpid():x}", segments))
+    # Writer ids embed the parent pid so two parallel aggregations
+    # spilling into one directory stay distinguishable.
+    suffix = f"x{os.getpid():x}"
+    method = start_method or preferred_start_method()
+    context = multiprocessing.get_context(method)
+    if method == "fork":
+        worker = _spill_shard_fork
+        jobs = [
+            (directory, partitions, f"s{index}{suffix}", shard)
+            for index, shard in enumerate(shards)
+        ]
+        with _FORK_LOCK:
+            _FORK_SEGMENTS = keyed_hashes
+            try:
+                pool = context.Pool(min(workers, len(jobs)))
+            finally:
+                _FORK_SEGMENTS = None
+    else:
+        worker = _spill_shard
+        jobs = [
+            (
+                directory,
+                partitions,
+                f"s{index}{suffix}",
+                [keyed_hashes[i] for i in shard],
+            )
+            for index, shard in enumerate(shards)
+        ]
+        pool = context.Pool(min(workers, len(jobs)))
+    try:
+        counts = pool.map(worker, jobs)
+    finally:
+        pool.close()
+        pool.join()
+    return sum(counts)
 
 
 def parallel_group_fold(

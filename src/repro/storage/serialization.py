@@ -29,10 +29,27 @@ TAG_PCSA = 0x20
 TAG_CPC = 0x21
 TAG_HLLL = 0x22
 TAG_SPIKESKETCH = 0x23
+#: Durable-store file tags (see :mod:`repro.store`).
+TAG_MEMMAP_REGISTERS = 0x40
+TAG_WAL = 0x41
+TAG_SNAPSHOT = 0x42
+TAG_SPILL = 0x43
 
 
 class SerializationError(ValueError):
     """Raised when deserializing malformed or foreign data."""
+
+
+class IncompleteRecordError(SerializationError):
+    """A record's declared length runs past the end of the buffer.
+
+    Distinguished from generic corruption because an append-only log cut
+    mid-write (crash, ``kill -9``) legitimately ends in a partial record:
+    recovery treats this as "stop at the last complete record", whereas
+    any other :class:`SerializationError` (bad magic, bad CRC, unknown
+    record kind) means the durable prefix itself is damaged and must not
+    be loaded.
+    """
 
 
 def write_header(tag: int) -> bytearray:
@@ -99,3 +116,133 @@ def uvarint_size(value: int) -> int:
         value >>= 7
         size += 1
     return size
+
+
+# -- checksummed log records ---------------------------------------------------
+#
+# The durable-store layer (repro.store) appends keyed payloads to files:
+# WAL batches, spilled GROUP BY segments. All of them share one record
+# framing so a single reader handles every log-structured file:
+#
+#     kind (1) | uvarint key_len | key | uvarint payload_len | payload
+#     | crc32 (4, little-endian, over everything from kind onward)
+#
+# The trailing CRC makes torn writes detectable: a record is durable iff
+# it is complete *and* its checksum matches.
+
+
+def write_record(buffer: bytearray, kind: int, key: bytes, payload: bytes) -> None:
+    """Append one checksummed ``(kind, key, payload)`` record to ``buffer``."""
+    import zlib
+
+    if not 0 <= kind <= 0xFF:
+        raise ValueError(f"record kind {kind} out of byte range")
+    start = len(buffer)
+    buffer.append(kind)
+    write_uvarint(buffer, len(key))
+    buffer.extend(key)
+    write_uvarint(buffer, len(payload))
+    buffer.extend(payload)
+    crc = zlib.crc32(buffer[start:])
+    buffer.extend(crc.to_bytes(4, "little"))
+
+
+def read_record(data: bytes, offset: int) -> tuple[int, bytes, bytes, int]:
+    """Read one record, returning ``(kind, key, payload, new_offset)``.
+
+    Raises :class:`IncompleteRecordError` when the buffer ends inside the
+    record (a torn tail write) and plain :class:`SerializationError` when
+    a complete record fails its CRC — the caller decides which of the two
+    is survivable.
+    """
+    import zlib
+
+    def read_length(at: int) -> tuple[int, int]:
+        # A varint cut off by EOF is a torn tail; an over-long varint
+        # inside available bytes is corruption and stays fatal.
+        try:
+            return read_uvarint(data, at)
+        except IncompleteRecordError:
+            raise
+        except SerializationError as error:
+            if str(error) == "truncated varint":
+                raise IncompleteRecordError(str(error)) from error
+            raise
+
+    start = offset
+    if offset >= len(data):
+        raise IncompleteRecordError("empty record")
+    kind = data[offset]
+    offset += 1
+    key_length, offset = read_length(offset)
+    if offset + key_length > len(data):
+        raise IncompleteRecordError("record key runs past end of buffer")
+    key = bytes(data[offset : offset + key_length])
+    offset += key_length
+    payload_length, offset = read_length(offset)
+    if offset + payload_length + 4 > len(data):
+        raise IncompleteRecordError("record payload runs past end of buffer")
+    payload = bytes(data[offset : offset + payload_length])
+    offset += payload_length
+    stored_crc = int.from_bytes(data[offset : offset + 4], "little")
+    offset += 4
+    actual_crc = zlib.crc32(data[start : offset - 4])
+    if stored_crc != actual_crc:
+        raise SerializationError(
+            f"record checksum mismatch at offset {start}: "
+            f"stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        )
+    return kind, key, payload, offset
+
+
+def read_record_from(handle) -> "tuple[int, bytes, bytes] | None":
+    """Read one record incrementally from a binary file handle.
+
+    The streaming counterpart of :func:`read_record` for files too large
+    to slurp (spill partitions, long WALs): only one record's bytes are
+    resident at a time. Returns ``(kind, key, payload)``, or ``None`` at
+    a clean end of file (no bytes left). EOF *inside* a record raises
+    :class:`IncompleteRecordError`; a CRC mismatch raises
+    :class:`SerializationError`.
+    """
+    import zlib
+
+    first = handle.read(1)
+    if not first:
+        return None
+    crc = zlib.crc32(first)
+    kind = first[0]
+
+    def read_exact(count: int, what: str) -> bytes:
+        nonlocal crc
+        data = handle.read(count)
+        if len(data) != count:
+            raise IncompleteRecordError(f"record {what} runs past end of file")
+        crc = zlib.crc32(data, crc)
+        return data
+
+    def read_length() -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = read_exact(1, "length varint")[0]
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 70:
+                raise SerializationError("varint too long")
+
+    key = read_exact(read_length(), "key")
+    payload = read_exact(read_length(), "payload")
+    actual_crc = crc
+    stored = handle.read(4)
+    if len(stored) != 4:
+        raise IncompleteRecordError("record checksum runs past end of file")
+    stored_crc = int.from_bytes(stored, "little")
+    if stored_crc != actual_crc:
+        raise SerializationError(
+            f"record checksum mismatch: stored {stored_crc:#010x}, "
+            f"computed {actual_crc:#010x}"
+        )
+    return kind, key, payload

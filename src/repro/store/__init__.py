@@ -1,0 +1,49 @@
+"""Durable sketch store: persistence and spill-to-disk for the sketch family.
+
+Everything in-memory about this library dies with the process; this
+package is the disk layer that makes the paper's selling point — tiny,
+mergeable, serializable sketch state — operational:
+
+* :class:`~repro.store.registers.MemmapRegisters` — ``np.memmap``-backed
+  register arrays the bulk backends fold straight into (bit-identical to
+  the in-memory path, resident pages managed by the OS);
+* :class:`~repro.store.sketchstore.SketchStore` — a keyed, crash-
+  recoverable store: append-only WAL of hash batches + periodic
+  snapshots, WAL-tail replay on :meth:`~repro.store.sketchstore.SketchStore.open`,
+  compaction folding the log into a fresh snapshot;
+* :class:`~repro.store.spill.SpilledGroupBy` — external GROUP BY over
+  hash-partitioned spill files, exact and memory-bounded at millions of
+  groups.
+
+Entry points elsewhere: ``DistinctCountAggregator.add_batch(spill=...)``,
+``SlidingWindowDistinctCounter(store=...)`` (buckets retire durably on
+eviction), and the ``python -m repro.store`` CLI (ingest/query/compact).
+"""
+
+from repro.store.registers import MemmapRegisters
+from repro.store.sketchstore import (
+    RECORD_HASHES,
+    RECORD_SKETCH,
+    SketchStore,
+    replay_wal,
+)
+from repro.store.spill import (
+    DEFAULT_PARTITIONS,
+    SpilledGroupBy,
+    SpillWriter,
+    read_spill_file,
+    spill_files,
+)
+
+__all__ = [
+    "DEFAULT_PARTITIONS",
+    "MemmapRegisters",
+    "RECORD_HASHES",
+    "RECORD_SKETCH",
+    "SketchStore",
+    "SpillWriter",
+    "SpilledGroupBy",
+    "read_spill_file",
+    "replay_wal",
+    "spill_files",
+]

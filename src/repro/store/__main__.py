@@ -1,0 +1,188 @@
+"""Durable-store CLI: ``python -m repro.store <command> <directory>``.
+
+Commands
+--------
+
+``ingest``
+    Append items to a group, either literal (``--items a b c``) or
+    synthetic (``--count N`` distinct integers, offset by ``--offset``).
+    ``--crash`` hard-kills the process (``os._exit``) after the WAL
+    writes, before any clean shutdown — the honest half of a
+    crash-recovery drill.
+``query``
+    Print group estimates; ``--expect N --tolerance F`` turns it into a
+    check (exit 1 on miss) for smoke tests.
+``compact``
+    Fold the WAL into a fresh snapshot generation.
+``info``
+    Show generation, WAL size, and group count.
+
+Example drill::
+
+    python -m repro.store ingest /tmp/s --group demo --count 50000 --crash
+    python -m repro.store query /tmp/s --group demo --expect 50000 --tolerance 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.aggregate import DistinctCountAggregator
+from repro.store import SketchStore
+
+#: Exit status of a ``--crash`` ingest (distinguishable from real errors).
+CRASH_EXIT_CODE = 3
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("directory", help="store directory (created if absent)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Durable ExaLogLog sketch store (WAL + snapshots).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ingest = commands.add_parser("ingest", help="append items to a group")
+    _add_store_arguments(ingest)
+    ingest.add_argument("--group", default="default", help="group key (string)")
+    ingest.add_argument("--items", nargs="+", help="literal items to add")
+    ingest.add_argument("--count", type=int, help="add COUNT synthetic distinct integers")
+    ingest.add_argument("--offset", type=int, default=0, help="first synthetic integer")
+    ingest.add_argument("--batch", type=int, default=8192, help="items per WAL record")
+    # None means "persisted configuration wins" for an existing store
+    # (SketchStore.open falls back to ELL(2, 20) at p=8 when creating).
+    ingest.add_argument("--t", type=int, default=None)
+    ingest.add_argument("--d", type=int, default=None)
+    ingest.add_argument("--p", type=int, default=None)
+    ingest.add_argument("--fsync", action="store_true", help="fsync every WAL record")
+    ingest.add_argument(
+        "--compact-every",
+        type=int,
+        metavar="BYTES",
+        help="auto-compact when the WAL exceeds BYTES",
+    )
+    ingest.add_argument(
+        "--crash",
+        action="store_true",
+        help=f"os._exit({CRASH_EXIT_CODE}) after ingest, skipping clean shutdown",
+    )
+
+    query = commands.add_parser("query", help="print estimates / verify one group")
+    _add_store_arguments(query)
+    query.add_argument("--group", help="single group to query (default: all)")
+    query.add_argument("--top", type=int, help="show only the TOP largest groups")
+    query.add_argument("--expect", type=float, help="expected distinct count")
+    query.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="allowed relative error against --expect (default 0.1)",
+    )
+
+    compact = commands.add_parser("compact", help="fold the WAL into a new snapshot")
+    _add_store_arguments(compact)
+
+    info = commands.add_parser("info", help="show store state")
+    _add_store_arguments(info)
+    return parser
+
+
+def _command_ingest(arguments: argparse.Namespace) -> int:
+    if arguments.items is None and arguments.count is None:
+        print("ingest: need --items or --count", file=sys.stderr)
+        return 2
+    store = SketchStore.open(
+        arguments.directory,
+        t=arguments.t,
+        d=arguments.d,
+        p=arguments.p,
+        fsync=arguments.fsync,
+        auto_compact_bytes=arguments.compact_every,
+    )
+    appended = 0
+    if arguments.items:
+        store.append(arguments.group, arguments.items)
+        appended += len(arguments.items)
+    if arguments.count:
+        import numpy as np
+
+        for start in range(0, arguments.count, arguments.batch):
+            stop = min(start + arguments.batch, arguments.count)
+            values = np.arange(
+                arguments.offset + start, arguments.offset + stop, dtype=np.int64
+            )
+            store.append(arguments.group, values)
+            appended += len(values)
+    print(
+        f"appended {appended} items to group {arguments.group!r} "
+        f"({store.wal_records} WAL records, {store.wal_bytes} WAL bytes)"
+    )
+    if arguments.crash:
+        print("simulating crash: exiting without clean shutdown", flush=True)
+        os._exit(CRASH_EXIT_CODE)
+    store.close()
+    return 0
+
+
+def _command_query(arguments: argparse.Namespace) -> int:
+    store = SketchStore.open(arguments.directory)
+    try:
+        if arguments.group is not None:
+            estimate = store.estimate(arguments.group)
+            print(f"{arguments.group}\t{estimate:.1f}")
+            if arguments.expect is not None:
+                error = abs(estimate / arguments.expect - 1.0)
+                status = "ok" if error <= arguments.tolerance else "FAIL"
+                print(
+                    f"expected {arguments.expect:.0f}, relative error "
+                    f"{error:.4f} (tolerance {arguments.tolerance}) -> {status}"
+                )
+                return 0 if status == "ok" else 1
+        else:
+            ranked = sorted(store.estimates().items(), key=lambda kv: -kv[1])
+            if arguments.top is not None:
+                ranked = ranked[: arguments.top]
+            for key, estimate in ranked:
+                print(f"{DistinctCountAggregator.decode_key(key)}\t{estimate:.1f}")
+        return 0
+    finally:
+        store.close()
+
+
+def _command_compact(arguments: argparse.Namespace) -> int:
+    with SketchStore.open(arguments.directory) as store:
+        generation = store.compact()
+        print(f"compacted to generation {generation} ({len(store)} groups)")
+    return 0
+
+
+def _command_info(arguments: argparse.Namespace) -> int:
+    with SketchStore.open(arguments.directory) as store:
+        config = store.aggregator._config
+        print(f"directory:   {store.directory}")
+        print(f"config:      t={config[0]} d={config[1]} p={config[2]} sparse={config[3]} seed={config[4]}")
+        print(f"generation:  {store.generation}")
+        print(f"groups:      {len(store)}")
+        print(f"wal records: {store.wal_records}")
+        print(f"wal bytes:   {store.wal_bytes}")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    handler = {
+        "ingest": _command_ingest,
+        "query": _command_query,
+        "compact": _command_compact,
+        "info": _command_info,
+    }[arguments.command]
+    return handler(arguments)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,312 @@
+"""``np.memmap``-backed register arrays (the durable fold target).
+
+The bulk backends (:mod:`repro.backends.bulk`) fold hash batches into
+plain int64 ndarrays; nothing in that machinery cares where the array
+lives. :class:`MemmapRegisters` puts it in a disk file mapped with
+``np.memmap``, so folds write straight into OS-page-cached, durable
+storage — and the operating system, not the Python heap, decides how much
+of a multi-million-register aggregation is resident at once.
+
+The provider satisfies the :class:`repro.backends.BulkBackend` protocol
+and its exact-equivalence contract: ``add_hashes`` on a memmap file
+leaves register values bit-identical to the in-memory sketch fed the same
+hashes (the builders and merges are literally the same functions; only
+the destination array differs).
+
+File layout (little-endian throughout)::
+
+    magic (2) | version (1) | tag 0x40 (1) | kind (1) | t (1) | d (1) | p (1)
+    | m * 8 bytes of '<i8' register values
+
+Three register-array kinds cover the family's dense array sketches:
+
+==============  ======================================  =================
+kind            fold (fresh batch array)                merge into file
+==============  ======================================  =================
+``exaloglog``   :func:`~repro.backends.bulk.exaloglog_registers`   Algorithm 5
+``hyperloglog`` :func:`~repro.backends.bulk.hyperloglog_registers` element-wise max
+``pcsa``        :func:`~repro.backends.bulk.pcsa_bitmaps`          element-wise OR
+==============  ======================================  =================
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.storage.serialization import (
+    FORMAT_VERSION,
+    MAGIC,
+    SerializationError,
+    TAG_MEMMAP_REGISTERS,
+)
+
+#: Header in front of the register payload.
+HEADER_BYTES = 8
+
+_KIND_CODES = {"exaloglog": 1, "hyperloglog": 2, "pcsa": 3}
+_KIND_NAMES = {code: name for name, code in _KIND_CODES.items()}
+
+
+def _header(kind: str, t: int, d: int, p: int) -> bytes:
+    return MAGIC + bytes((FORMAT_VERSION, TAG_MEMMAP_REGISTERS, _KIND_CODES[kind], t, d, p))
+
+
+def _read_header(path: pathlib.Path) -> tuple[str, int, int, int]:
+    with open(path, "rb") as handle:
+        raw = handle.read(HEADER_BYTES)
+    if len(raw) < HEADER_BYTES:
+        raise SerializationError(f"{path}: too short to be a register file")
+    if raw[:2] != MAGIC:
+        raise SerializationError(f"{path}: bad magic, not a repro register file")
+    if raw[2] != FORMAT_VERSION:
+        raise SerializationError(f"{path}: unsupported format version {raw[2]}")
+    if raw[3] != TAG_MEMMAP_REGISTERS:
+        raise SerializationError(
+            f"{path}: tag {raw[3]:#x} is not a register file (expected "
+            f"{TAG_MEMMAP_REGISTERS:#x})"
+        )
+    kind = _KIND_NAMES.get(raw[4])
+    if kind is None:
+        raise SerializationError(f"{path}: unknown register kind code {raw[4]}")
+    return kind, raw[5], raw[6], raw[7]
+
+
+class MemmapRegisters:
+    """A sketch register array living in a disk-backed memory map.
+
+    Use the :meth:`create` / :meth:`open` / :meth:`open_or_create`
+    constructors; instances are context managers that flush and close the
+    map on exit::
+
+        with MemmapRegisters.open_or_create("counts.reg", p=12) as reg:
+            reg.add_hashes(hashes)
+            print(reg.estimate())
+    """
+
+    __slots__ = ("_array", "_kind", "_params", "_path")
+
+    def __init__(self, path, kind: str, t: int, d: int, p: int, mode: str) -> None:
+        from repro.core.params import make_params
+
+        if kind != "exaloglog" and (t or d):
+            raise ValueError(f"kind {kind!r} takes only p; got t={t}, d={d}")
+        self._validate(kind, t, d, p)
+        self._path = pathlib.Path(path)
+        self._kind = kind
+        # HLL/PCSA reuse the ExaLogLog parameter object with t=d=0 purely
+        # for (p, m) bookkeeping; folds never consult t/d for those kinds.
+        self._params = make_params(t, d, p)
+        self._array = np.memmap(
+            self._path,
+            dtype="<i8",
+            mode=mode,
+            offset=HEADER_BYTES,
+            shape=(self._params.m,),
+        )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path, kind: str = "exaloglog", t: int = 2, d: int = 20, p: int = 8
+    ) -> "MemmapRegisters":
+        """Create a fresh zeroed register file (refuses to overwrite)."""
+        path = pathlib.Path(path)
+        if path.exists():
+            raise FileExistsError(f"register file {path} already exists")
+        if kind != "exaloglog":
+            t = d = 0
+        # Validate everything (kind, parameter ranges, int64 fit) before
+        # touching the filesystem, so invalid parameters never leave a
+        # stale zeroed file behind for a later open to misread.
+        cls._validate(kind, t, d, p)
+        with open(path, "wb") as handle:
+            handle.write(_header(kind, t, d, p))
+            handle.truncate(HEADER_BYTES + (1 << p) * 8)
+        return cls(path, kind, t, d, p, mode="r+")
+
+    @classmethod
+    def _validate(cls, kind: str, t: int, d: int, p: int) -> None:
+        from repro.core.params import make_params
+
+        if kind not in _KIND_CODES:
+            raise ValueError(f"unknown register kind {kind!r}; known: {sorted(_KIND_CODES)}")
+        params = make_params(t, d, p)
+        if kind == "exaloglog":
+            from repro.backends import supports_int64_registers
+
+            if not supports_int64_registers(params):
+                raise ValueError(
+                    f"register values of {params} exceed int64; "
+                    "memmap backing requires register_bits <= 63"
+                )
+
+    @classmethod
+    def open(cls, path) -> "MemmapRegisters":
+        """Map an existing register file (parameters come from its header)."""
+        path = pathlib.Path(path)
+        kind, t, d, p = _read_header(path)
+        expected = HEADER_BYTES + (1 << p) * 8
+        actual = os.path.getsize(path)
+        if actual != expected:
+            raise SerializationError(
+                f"{path}: file is {actual} bytes, expected {expected} for p={p}"
+            )
+        return cls(path, kind, t, d, p, mode="r+")
+
+    @classmethod
+    def open_or_create(
+        cls, path, kind: str = "exaloglog", t: int = 2, d: int = 20, p: int = 8
+    ) -> "MemmapRegisters":
+        """Open ``path`` if it exists (validating parameters), else create it."""
+        path = pathlib.Path(path)
+        if not path.exists():
+            return cls.create(path, kind, t, d, p)
+        registers = cls.open(path)
+        if kind != "exaloglog":
+            t = d = 0
+        requested = (kind, t, d, p)
+        on_disk = (registers.kind, registers.params.t, registers.params.d, registers.params.p)
+        if requested != on_disk:
+            registers.close()
+            raise ValueError(
+                f"{path} holds {on_disk[0]} registers with (t, d, p)={on_disk[1:]}, "
+                f"requested {requested[0]} with (t, d, p)={requested[1:]}"
+            )
+        return registers
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def params(self):
+        """The (t, d, p) parameter triple (t = d = 0 for HLL/PCSA kinds)."""
+        return self._params
+
+    @property
+    def m(self) -> int:
+        return self._params.m
+
+    @property
+    def registers(self) -> np.ndarray:
+        """The live disk-backed register array (int64, length ``m``)."""
+        return self._array
+
+    @property
+    def is_empty(self) -> bool:
+        return not np.any(self._array)
+
+    def __repr__(self) -> str:
+        occupied = int(np.count_nonzero(self._array))
+        return (
+            f"MemmapRegisters(kind={self._kind!r}, path={str(self._path)!r}, "
+            f"occupied={occupied}/{self.m})"
+        )
+
+    # -- ingestion (the BulkBackend protocol) ---------------------------------
+
+    def add_hashes(self, hashes: "np.ndarray | Iterable[int]") -> "MemmapRegisters":
+        """Fold a batch of 64-bit hashes into the mapped registers.
+
+        Bit-identical to the in-memory sketch of the same kind fed the
+        same hashes: the fold and merge are the shared backend functions,
+        writing their result through the memory map.
+        """
+        from repro import backends
+
+        hashes = backends.as_hash_array(hashes)
+        if len(hashes) == 0:
+            return self
+        array = self._array
+        if self._kind == "exaloglog":
+            batch = backends.exaloglog_registers(hashes, self._params)
+            if np.any(array):
+                array[:] = backends.merge_exaloglog_registers(
+                    array, batch, self._params.d
+                )
+            else:
+                array[:] = batch
+        elif self._kind == "hyperloglog":
+            batch = backends.hyperloglog_registers(hashes, self._params.p)
+            np.maximum(array, batch, out=array)
+        else:  # pcsa
+            batch = backends.pcsa_bitmaps(hashes, self._params.p)
+            np.bitwise_or(array, batch, out=array)
+        return self
+
+    def add_batch(self, items: Any, seed: int = 0) -> "MemmapRegisters":
+        """Hash a batch of items (vectorised when possible) and fold it."""
+        from repro.hashing.batch import hash_items
+
+        return self.add_hashes(hash_items(items, seed))
+
+    def merge_registers(self, batch: np.ndarray) -> "MemmapRegisters":
+        """Merge a same-shape register array (e.g. another file's) in place."""
+        batch = np.asarray(batch, dtype=np.int64)
+        if batch.shape != self._array.shape:
+            raise ValueError(f"expected {self._array.shape} registers, got {batch.shape}")
+        if self._kind == "exaloglog":
+            from repro.backends import merge_exaloglog_registers
+
+            self._array[:] = merge_exaloglog_registers(self._array, batch, self._params.d)
+        elif self._kind == "hyperloglog":
+            np.maximum(self._array, batch, out=self._array)
+        else:
+            np.bitwise_or(self._array, batch, out=self._array)
+        return self
+
+    # -- queries --------------------------------------------------------------
+
+    def to_sketch(self):
+        """Materialise the equivalent in-memory sketch object."""
+        if self._kind == "exaloglog":
+            from repro.core.exaloglog import ExaLogLog
+
+            return ExaLogLog.from_registers(self._params, self._array.tolist())
+        if self._kind == "hyperloglog":
+            from repro.baselines.hyperloglog import HyperLogLog
+
+            sketch = HyperLogLog(self._params.p)
+            sketch._registers = self._array.tolist()
+            return sketch
+        from repro.baselines.pcsa import PCSA
+
+        sketch = PCSA(self._params.p)
+        sketch._bitmaps = self._array.tolist()
+        return sketch
+
+    def estimate(self) -> float:
+        """Distinct-count estimate straight off the mapped registers."""
+        return self.to_sketch().estimate()
+
+    # -- durability -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write dirty pages back to the file."""
+        self._array.flush()
+
+    def close(self) -> None:
+        """Flush and drop the mapping; further register access is invalid."""
+        if self._array is not None:
+            self._array.flush()
+            # Release the mmap so the file can be unlinked on Windows and
+            # so later opens see a consistent size.
+            del self._array
+            self._array = None
+
+    def __enter__(self) -> "MemmapRegisters":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,474 @@
+"""Durable keyed sketch store: write-ahead log + snapshots.
+
+:class:`SketchStore` persists a :class:`~repro.aggregate.DistinctCountAggregator`
+— group key → sketch — across process death. The design leans on the
+paper's core property: sketch state is tiny, mergeable and serializable,
+so full snapshots are cheap and the log between snapshots only has to
+carry *inputs* (hash batches), not state diffs.
+
+Directory layout (``gen`` is the zero-padded compaction generation)::
+
+    store/
+      snapshot-<gen>.bin   header 0x42 | uvarint gen | aggregator blob
+      wal-<gen>.log        header 0x41 | checksummed records (see below)
+
+Each WAL record uses the shared framing of
+:func:`repro.storage.serialization.write_record` with two record kinds:
+
+* ``RECORD_HASHES`` (0x01) — payload is ``n * 8`` little-endian uint64
+  hash values folded into the key's sketch, and
+* ``RECORD_SKETCH`` (0x02) — payload is a serialized sketch merged into
+  the key's sketch (how retired sliding-window buckets persist).
+
+Durability contract: a batch is durable once its WAL record is on disk
+(``fsync=True`` forces that before ``append`` returns; the default
+leaves it to the OS like most databases in ``fsync=off`` mode).
+:meth:`SketchStore.open` replays the WAL tail on top of the newest
+snapshot; a torn final record (crash mid-write) is truncated away, any
+other corruption raises :class:`~repro.storage.serialization.SerializationError`
+rather than loading garbage. :meth:`compact` folds the WAL into a fresh
+snapshot (written atomically via rename) and starts an empty log.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+from typing import Any, Hashable, Iterator
+
+import numpy as np
+
+from repro.aggregate import DistinctCountAggregator
+from repro.storage.serialization import (
+    FORMAT_VERSION,
+    MAGIC,
+    IncompleteRecordError,
+    SerializationError,
+    TAG_EXALOGLOG,
+    TAG_SNAPSHOT,
+    TAG_SPARSE_EXALOGLOG,
+    TAG_WAL,
+    read_record_from,
+    read_uvarint,
+    write_record,
+    write_uvarint,
+)
+
+#: WAL record kinds.
+RECORD_HASHES = 0x01
+RECORD_SKETCH = 0x02
+
+_SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{8})\.bin$")
+_WAL_PATTERN = re.compile(r"^wal-(\d{8})\.log$")
+
+_FILE_HEADER_BYTES = 4
+
+
+def _file_header(tag: int) -> bytes:
+    return MAGIC + bytes((FORMAT_VERSION, tag))
+
+
+def _check_file_header(data: bytes, tag: int, path) -> int:
+    if len(data) < _FILE_HEADER_BYTES:
+        raise SerializationError(f"{path}: too short to hold a file header")
+    if data[:2] != MAGIC or data[2] != FORMAT_VERSION or data[3] != tag:
+        raise SerializationError(f"{path}: bad file header (expected tag {tag:#x})")
+    return _FILE_HEADER_BYTES
+
+
+def sketch_to_blob(sketch) -> bytes:
+    """Serialize any dense/sparse ExaLogLog for a ``RECORD_SKETCH`` payload."""
+    return sketch.to_bytes()
+
+
+def sketch_from_blob(blob: bytes):
+    """Deserialize a ``RECORD_SKETCH`` payload (dense or sparse, by tag)."""
+    from repro.core.exaloglog import ExaLogLog
+    from repro.core.sparse import SparseExaLogLog
+
+    if len(blob) < _FILE_HEADER_BYTES:
+        raise SerializationError("sketch blob too short for a header")
+    tag = blob[3]
+    if tag == TAG_EXALOGLOG:
+        return ExaLogLog.from_bytes(blob)
+    if tag == TAG_SPARSE_EXALOGLOG:
+        return SparseExaLogLog.from_bytes(blob)
+    raise SerializationError(f"sketch blob tag {tag:#x} is not mergeable into a store")
+
+
+def replay_wal(path, aggregator: DistinctCountAggregator) -> tuple[int, int]:
+    """Replay a WAL file into ``aggregator``.
+
+    Returns ``(records_applied, durable_bytes)`` where ``durable_bytes``
+    is the offset of the last complete record — a torn tail after it is
+    ignored (and the caller truncates it away before appending more).
+    Corruption inside the durable prefix raises
+    :class:`SerializationError`.
+    """
+    applied = 0
+    with open(path, "rb") as handle:
+        # Streamed record by record, so replay memory stays O(one record)
+        # even for a WAL that was never compacted.
+        _check_file_header(handle.read(_FILE_HEADER_BYTES), TAG_WAL, path)
+        durable = handle.tell()
+        while True:
+            try:
+                record = read_record_from(handle)
+            except IncompleteRecordError:
+                break  # torn tail write: durable prefix ends at the last full record
+            if record is None:
+                break
+            _apply_record(aggregator, *record)
+            applied += 1
+            durable = handle.tell()
+    return applied, durable
+
+
+def _apply_record(aggregator: DistinctCountAggregator, kind: int, key: bytes, payload: bytes) -> None:
+    if kind == RECORD_HASHES:
+        if len(payload) % 8:
+            raise SerializationError(
+                f"hash record payload of {len(payload)} bytes is not a multiple of 8"
+            )
+        hashes = np.frombuffer(payload, dtype="<u8")
+        sketch = aggregator._groups.get(key)
+        if sketch is None:
+            sketch = aggregator._new_sketch()
+            aggregator._groups[key] = sketch
+        sketch.add_hashes(hashes)
+    elif kind == RECORD_SKETCH:
+        _merge_sketch_into(aggregator, key, sketch_from_blob(payload))
+    else:
+        raise SerializationError(f"unknown WAL record kind {kind:#x}")
+
+
+def _merge_sketch_into(aggregator: DistinctCountAggregator, key: bytes, sketch) -> None:
+    from repro.core.sparse import SparseExaLogLog
+
+    mine = aggregator._groups.get(key)
+    if mine is None:
+        # Adopt a copy in the aggregator's own representation so later
+        # merges/serialization stay uniform.
+        mine = aggregator._new_sketch()
+        aggregator._groups[key] = mine
+    if isinstance(mine, SparseExaLogLog):
+        mine.merge_inplace(sketch)
+    else:
+        if isinstance(sketch, SparseExaLogLog):
+            sketch = sketch.densify()
+        mine.merge_inplace(sketch)
+
+
+class SketchStore:
+    """A crash-recoverable, WAL-backed store of per-key distinct-count sketches.
+
+    >>> store = SketchStore.open(tmp_path / "counts", p=8)
+    >>> store.append("DE", ["alice", "bob"])
+    >>> store.close()
+    >>> reopened = SketchStore.open(tmp_path / "counts")
+    >>> round(reopened.estimate("DE"))
+    2
+
+    Parameters mirror the aggregator; on an existing store directory the
+    persisted configuration wins and explicitly passed parameters are
+    validated against it.
+
+    ``auto_compact_bytes`` bounds the WAL: when an append pushes the log
+    past the threshold, the store compacts synchronously (snapshot write
+    + fresh log), so recovery time stays proportional to the threshold,
+    not to the total ingest history.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        raise TypeError("use SketchStore.open(path, ...) to create or open a store")
+
+    @classmethod
+    def _new(cls) -> "SketchStore":
+        return object.__new__(cls)
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        t: int | None = None,
+        d: int | None = None,
+        p: int | None = None,
+        sparse: bool | None = None,
+        seed: int | None = None,
+        fsync: bool = False,
+        auto_compact_bytes: int | None = None,
+    ) -> "SketchStore":
+        """Open a store directory, creating it (plus generation 0) if absent.
+
+        Opening an existing store recovers it: the newest snapshot loads,
+        the matching WAL replays up to its last complete record, and a
+        torn tail (if the previous process died mid-write) is truncated.
+
+        Configuration parameters left at ``None`` default to ELL(2, 20)
+        at p=8 when creating and to the persisted configuration when
+        opening; explicitly passed values must match an existing store.
+        """
+        store = cls._new()
+        store._directory = pathlib.Path(path)
+        store._fsync = fsync
+        store._auto_compact_bytes = auto_compact_bytes
+        store._wal_handle = None
+        store._directory.mkdir(parents=True, exist_ok=True)
+
+        requested = (t, d, p, sparse, seed)
+        generation = store._latest_generation()
+        if generation is None:
+            defaults = (2, 20, 8, True, 0)
+            config = tuple(
+                value if value is not None else default
+                for value, default in zip(requested, defaults)
+            )
+            store._generation = 0
+            store._aggregator = DistinctCountAggregator(*config)
+            store._write_snapshot(0)
+            store._wal_records = 0
+            store._open_wal(truncate_to=None)
+        else:
+            store._generation = generation
+            store._aggregator = store._load_snapshot(generation)
+            persisted = store._aggregator._config
+            mismatched = [
+                (value, on_disk)
+                for value, on_disk in zip(requested, persisted)
+                if value is not None and value != on_disk
+            ]
+            if mismatched:
+                raise ValueError(
+                    f"store at {store._directory} has configuration "
+                    f"(t, d, p, sparse, seed)={persisted}, requested {requested}"
+                )
+            wal_path = store._wal_path(generation)
+            if wal_path.exists():
+                store._wal_records, durable = replay_wal(wal_path, store._aggregator)
+                store._open_wal(truncate_to=durable)
+            else:
+                store._wal_records = 0
+                store._open_wal(truncate_to=None)
+            store._sweep_stale(generation)
+        return store
+
+    # -- paths ----------------------------------------------------------------
+
+    def _snapshot_path(self, generation: int) -> pathlib.Path:
+        return self._directory / f"snapshot-{generation:08d}.bin"
+
+    def _wal_path(self, generation: int) -> pathlib.Path:
+        return self._directory / f"wal-{generation:08d}.log"
+
+    def _latest_generation(self) -> int | None:
+        generations = [
+            int(match.group(1))
+            for entry in os.listdir(self._directory)
+            if (match := _SNAPSHOT_PATTERN.match(entry))
+        ]
+        return max(generations) if generations else None
+
+    def _sweep_stale(self, generation: int) -> None:
+        """Delete files a crashed compaction left behind (older generations)."""
+        for entry in os.listdir(self._directory):
+            match = _SNAPSHOT_PATTERN.match(entry) or _WAL_PATTERN.match(entry)
+            if match and int(match.group(1)) < generation:
+                (self._directory / entry).unlink()
+
+    # -- snapshot & WAL files -------------------------------------------------
+
+    def _write_snapshot(self, generation: int) -> None:
+        buffer = bytearray(_file_header(TAG_SNAPSHOT))
+        write_uvarint(buffer, generation)
+        buffer.extend(self._aggregator.to_bytes())
+        path = self._snapshot_path(generation)
+        temporary = path.with_suffix(".tmp")
+        with open(temporary, "wb") as handle:
+            handle.write(buffer)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+        self._sync_directory()
+
+    def _load_snapshot(self, generation: int) -> DistinctCountAggregator:
+        path = self._snapshot_path(generation)
+        data = path.read_bytes()
+        offset = _check_file_header(data, TAG_SNAPSHOT, path)
+        stored_generation, offset = read_uvarint(data, offset)
+        if stored_generation != generation:
+            raise SerializationError(
+                f"{path}: names generation {generation} but holds {stored_generation}"
+            )
+        return DistinctCountAggregator.from_bytes(data[offset:])
+
+    def _open_wal(self, truncate_to: int | None) -> None:
+        path = self._wal_path(self._generation)
+        if not path.exists():
+            with open(path, "wb") as handle:
+                handle.write(_file_header(TAG_WAL))
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._sync_directory()
+        elif truncate_to is not None and truncate_to < os.path.getsize(path):
+            with open(path, "r+b") as handle:
+                handle.truncate(truncate_to)
+        self._wal_handle = open(path, "ab")
+
+    def _sync_directory(self) -> None:
+        if os.name == "posix":
+            fd = os.open(self._directory, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+    def _append_record(self, kind: int, key: bytes, payload: bytes) -> None:
+        if self._wal_handle is None:
+            raise ValueError("store is closed")
+        buffer = bytearray()
+        write_record(buffer, kind, key, payload)
+        self._wal_handle.write(buffer)
+        self._wal_handle.flush()
+        if self._fsync:
+            os.fsync(self._wal_handle.fileno())
+        self._wal_records += 1
+
+    def _maybe_auto_compact(self) -> None:
+        """Compact when the WAL outgrew its bound.
+
+        Only called *after* a record has been both logged and applied to
+        the in-memory aggregator — compacting between the two would
+        snapshot a state missing the record while deleting the WAL that
+        held it.
+        """
+        if (
+            self._auto_compact_bytes is not None
+            and self._wal_handle is not None
+            and self._wal_handle.tell() >= self._auto_compact_bytes
+        ):
+            self.compact()
+
+    # -- ingest ---------------------------------------------------------------
+
+    def append(self, group: Hashable, items: Any) -> "SketchStore":
+        """Durably record a batch of items under ``group``; returns ``self``."""
+        from repro.hashing.batch import hash_items
+
+        seed = self._aggregator._config[4]
+        return self.append_hashes(group, hash_items(items, seed))
+
+    def append_hashes(self, group: Hashable, hashes) -> "SketchStore":
+        """Durably record pre-hashed values under ``group``; returns ``self``.
+
+        The WAL record goes to disk first; only then does the batch fold
+        into the in-memory sketch, so anything the reader can observe is
+        also recoverable.
+        """
+        from repro.backends import as_hash_array
+
+        hashes = as_hash_array(hashes)
+        if len(hashes) == 0:
+            return self
+        key = DistinctCountAggregator._group_key(group)
+        payload = hashes.astype("<u8", copy=False).tobytes()
+        self._append_record(RECORD_HASHES, key, payload)
+        sketch = self._aggregator._groups.get(key)
+        if sketch is None:
+            sketch = self._aggregator._new_sketch()
+            self._aggregator._groups[key] = sketch
+        sketch.add_hashes(hashes)
+        self._maybe_auto_compact()
+        return self
+
+    def merge_sketch(self, group: Hashable, sketch) -> "SketchStore":
+        """Durably merge a whole sketch into ``group`` (bucket retirement)."""
+        key = DistinctCountAggregator._group_key(group)
+        self._append_record(RECORD_SKETCH, key, sketch_to_blob(sketch))
+        _merge_sketch_into(self._aggregator, key, sketch)
+        self._maybe_auto_compact()
+        return self
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def aggregator(self) -> DistinctCountAggregator:
+        """The live in-memory state (snapshot + replayed/applied WAL)."""
+        return self._aggregator
+
+    @property
+    def directory(self) -> pathlib.Path:
+        return self._directory
+
+    @property
+    def generation(self) -> int:
+        """Compaction generation (increments on every :meth:`compact`)."""
+        return self._generation
+
+    @property
+    def wal_records(self) -> int:
+        """Records in the current WAL (replayed + appended this session)."""
+        return self._wal_records
+
+    @property
+    def wal_bytes(self) -> int:
+        """Current WAL file size in bytes."""
+        return os.path.getsize(self._wal_path(self._generation))
+
+    def __len__(self) -> int:
+        return len(self._aggregator)
+
+    def __contains__(self, group: Hashable) -> bool:
+        return group in self._aggregator
+
+    def groups(self) -> Iterator[bytes]:
+        return self._aggregator.groups()
+
+    def estimate(self, group: Hashable) -> float:
+        return self._aggregator.estimate(group)
+
+    def estimates(self) -> dict[bytes, float]:
+        return self._aggregator.estimates()
+
+    # -- maintenance ----------------------------------------------------------
+
+    def compact(self) -> int:
+        """Fold the WAL into a fresh snapshot; returns the new generation.
+
+        Write order makes every intermediate crash state recoverable: the
+        new snapshot lands atomically (temp file + rename), the new empty
+        WAL is created, and only then are the previous generation's files
+        deleted — :meth:`open` always finds the newest intact snapshot
+        and ignores older leftovers.
+        """
+        if self._wal_handle is None:
+            raise ValueError("store is closed")
+        self._wal_handle.close()
+        self._generation += 1
+        self._write_snapshot(self._generation)
+        self._wal_records = 0
+        self._wal_handle = None
+        self._open_wal(truncate_to=None)
+        self._sweep_stale(self._generation)
+        return self._generation
+
+    def close(self) -> None:
+        """Flush and close the WAL handle (no compaction)."""
+        if self._wal_handle is not None:
+            self._wal_handle.flush()
+            os.fsync(self._wal_handle.fileno())
+            self._wal_handle.close()
+            self._wal_handle = None
+
+    def __enter__(self) -> "SketchStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchStore(directory={str(self._directory)!r}, "
+            f"generation={self._generation}, groups={len(self._aggregator)}, "
+            f"wal_records={self._wal_records})"
+        )

@@ -1,0 +1,361 @@
+"""Spill-to-disk GROUP BY: exact external aggregation in bounded memory.
+
+An in-memory :class:`~repro.aggregate.DistinctCountAggregator` keeps one
+Python sketch object per group — at millions of groups the *objects*
+dominate, not the registers. This module runs the classic external
+hash-aggregation plan instead:
+
+1. **Partition & spill** — incoming ``(group, hashes)`` segments are
+   hash-partitioned by :func:`repro.parallel.shard_of` and appended to
+   per-partition files. A group lives entirely inside one partition, and
+   writers never buffer more than the batch at hand.
+2. **Merge** — partitions are read back *one at a time*; each builds a
+   partial aggregator holding only its own groups (``1/partitions`` of
+   the total) and yields it. Sketch folds are commutative/idempotent and
+   merges exact, so per-group states are bit-identical to the all-in-RAM
+   scatter.
+
+Peak memory is therefore ``O(largest partition)`` regardless of total
+group count.
+
+Partition files use the shared record framing of
+:mod:`repro.storage.serialization` (kind ``RECORD_HASHES``) behind a
+4-byte ``TAG_SPILL`` file header. File names carry a writer id —
+``part-<partition>-<writer>.spill`` — so independent writers (the shard
+workers of :func:`repro.parallel.parallel_spill_write`, or several
+processes feeding one aggregation) append to their own files without
+coordination; the merge pass reads every file of a partition.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Any, Hashable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.aggregate import DistinctCountAggregator
+from repro.storage.serialization import (
+    IncompleteRecordError,
+    SerializationError,
+    TAG_SPILL,
+    read_record_from,
+    write_record,
+)
+from repro.store.sketchstore import (
+    RECORD_HASHES,
+    _FILE_HEADER_BYTES,
+    _check_file_header,
+    _file_header,
+)
+
+#: Default partition fan-out; at 1e6 groups each partition then holds
+#: ~16k groups, a few MB of sketch objects during its merge pass.
+DEFAULT_PARTITIONS = 64
+
+_SPILL_SUFFIX = ".spill"
+
+
+def _partition_of(key: bytes, partitions: int) -> int:
+    from repro.parallel import shard_of
+
+    return shard_of(key, partitions)
+
+
+class SpillWriter:
+    """Appends ``(key, hashes)`` records to hash-partitioned spill files.
+
+    Multiple writers may target one directory concurrently: each owns its
+    own set of files, distinguished by ``writer_id`` (default:
+    ``w<pid>``). Files are created lazily on the first record for their
+    partition.
+    """
+
+    def __init__(self, directory, partitions: int = DEFAULT_PARTITIONS, writer_id: str | None = None) -> None:
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        self._directory = pathlib.Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._partitions = partitions
+        self._writer_id = writer_id if writer_id is not None else f"w{os.getpid()}"
+        if "-" in self._writer_id or "/" in self._writer_id:
+            raise ValueError(f"writer_id {self._writer_id!r} may not contain '-' or '/'")
+        self._handles: dict[int, Any] = {}
+        self._records = 0
+
+    @property
+    def partitions(self) -> int:
+        return self._partitions
+
+    @property
+    def writer_id(self) -> str:
+        return self._writer_id
+
+    @property
+    def records_written(self) -> int:
+        return self._records
+
+    def _handle(self, partition: int):
+        handle = self._handles.get(partition)
+        if handle is None:
+            path = self._directory / f"part-{partition:04d}-{self._writer_id}{_SPILL_SUFFIX}"
+            exists = path.exists()
+            handle = open(path, "ab")
+            if not exists:
+                handle.write(_file_header(TAG_SPILL))
+            self._handles[partition] = handle
+        return handle
+
+    def write(self, key: bytes, hashes: np.ndarray) -> None:
+        """Append one group segment (canonical key, uint64 hash array)."""
+        from repro.backends import as_hash_array
+
+        hashes = as_hash_array(hashes)
+        if len(hashes) == 0:
+            return
+        buffer = bytearray()
+        write_record(buffer, RECORD_HASHES, key, hashes.astype("<u8", copy=False).tobytes())
+        self._handle(_partition_of(key, self._partitions)).write(buffer)
+        self._records += 1
+
+    def write_segments(self, segments: Iterable[tuple[bytes, np.ndarray]]) -> None:
+        for key, hashes in segments:
+            self.write(key, hashes)
+
+    def flush(self) -> None:
+        for handle in self._handles.values():
+            handle.flush()
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "SpillWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def spill_files(directory) -> dict[int, list[pathlib.Path]]:
+    """Partition index → sorted spill files of all writers in ``directory``."""
+    directory = pathlib.Path(directory)
+    grouped: dict[int, list[pathlib.Path]] = {}
+    for path in sorted(directory.glob(f"part-*{_SPILL_SUFFIX}")):
+        prefix = path.name.split("-", 2)
+        if len(prefix) < 3:
+            raise SerializationError(f"{path}: spill file name lacks a writer id")
+        grouped.setdefault(int(prefix[1]), []).append(path)
+    return grouped
+
+
+def read_spill_file(path) -> Iterator[tuple[bytes, np.ndarray]]:
+    """Yield the ``(key, hashes)`` records of one spill file.
+
+    Spill files are transient (written and read inside one aggregation),
+    so unlike the WAL a torn tail is not survivable — any incomplete or
+    corrupt record raises :class:`SerializationError`.
+    """
+    path = pathlib.Path(path)
+    with open(path, "rb") as handle:
+        # Streamed so the merge pass holds one record, not one file: a
+        # partition's raw hash payloads can dwarf its sketch states.
+        _check_file_header(handle.read(_FILE_HEADER_BYTES), TAG_SPILL, path)
+        while True:
+            try:
+                record = read_record_from(handle)
+            except IncompleteRecordError as error:
+                raise SerializationError(f"{path}: truncated spill record") from error
+            if record is None:
+                return
+            kind, key, payload = record
+            if kind != RECORD_HASHES:
+                raise SerializationError(
+                    f"{path}: unexpected spill record kind {kind:#x}"
+                )
+            if len(payload) % 8:
+                raise SerializationError(
+                    f"{path}: hash payload of {len(payload)} bytes is not a multiple of 8"
+                )
+            yield key, np.frombuffer(payload, dtype="<u8")
+
+
+class SpilledGroupBy:
+    """External ``APPROX_COUNT_DISTINCT(x) GROUP BY g`` over spill files.
+
+    Accepts the same batches as
+    :meth:`~repro.aggregate.DistinctCountAggregator.add_batch` but routes
+    every group segment to disk; results come from a partition-at-a-time
+    merge, so memory stays bounded while the number of groups is not.
+
+    >>> groupby = SpilledGroupBy(tmp_path / "spill", p=8)
+    >>> groupby.add_batch(["DE", "AT", "DE"], ["alice", "bob", "carol"])
+    >>> sorted(round(v) for v in groupby.estimates().values())
+    [1, 2]
+    """
+
+    def __init__(
+        self,
+        directory,
+        t: int = 2,
+        d: int = 20,
+        p: int = 8,
+        sparse: bool = True,
+        seed: int = 0,
+        partitions: int = DEFAULT_PARTITIONS,
+    ) -> None:
+        self._directory = pathlib.Path(directory)
+        self._partitions = partitions
+        # The scatter (hashing + factorisation) is the aggregator's own;
+        # this instance holds configuration and never accumulates groups.
+        self._scatter = DistinctCountAggregator(t, d, p, sparse, seed)
+        self._writer = SpillWriter(self._directory, partitions)
+
+    @property
+    def directory(self) -> pathlib.Path:
+        return self._directory
+
+    @property
+    def partitions(self) -> int:
+        return self._partitions
+
+    @property
+    def config(self) -> tuple[int, int, int, bool, int]:
+        return self._scatter._config
+
+    @property
+    def records_spilled(self) -> int:
+        return self._writer.records_written
+
+    # -- ingest ---------------------------------------------------------------
+
+    def add_batch(
+        self, groups: "Iterable[Hashable]", items: Any, workers: int | None = None
+    ) -> "SpilledGroupBy":
+        """Spill one ``(groups, items)`` batch; returns ``self``.
+
+        ``workers`` fans the partition writes out across a process pool
+        (:func:`repro.parallel.parallel_spill_write`): workers own
+        disjoint partition sets and write their files independently.
+        """
+        segments = self._scatter._segments(groups, items)
+        if segments:
+            self.write_segments(segments, workers)
+        return self
+
+    def write_segments(
+        self,
+        segments: Iterable[tuple[bytes, np.ndarray]],
+        workers: int | None = None,
+    ) -> None:
+        """Spill pre-scattered ``(canonical key, hashes)`` segments.
+
+        The hand-off point of ``DistinctCountAggregator.add_batch(spill=...)``;
+        ``workers`` fans the writes out across a process pool.
+        """
+        if workers is not None and workers > 1:
+            from repro.parallel import parallel_spill_write
+
+            segments = list(segments)
+            if len(segments) > 1:
+                self._writer.flush()
+                self._writer._records += parallel_spill_write(
+                    segments, self._directory, self._partitions, workers
+                )
+                return
+        self._writer.write_segments(segments)
+
+    def add_pairs(self, pairs: Iterable[tuple[Hashable, Any]]) -> "SpilledGroupBy":
+        """Spill an iterable of ``(group, item)`` pairs in bounded chunks."""
+        import itertools
+
+        from repro.backends.bulk import BULK_CHUNK
+
+        iterator = iter(pairs)
+        while chunk := list(itertools.islice(iterator, BULK_CHUNK)):
+            groups, items = zip(*chunk)
+            self.add_batch(groups, list(items))
+        return self
+
+    # -- merge ----------------------------------------------------------------
+
+    def partition_aggregators(self) -> Iterator[DistinctCountAggregator]:
+        """Yield one exact partial aggregator per non-empty partition.
+
+        Flushes pending writes first; each partial holds only its
+        partition's groups, which is the memory bound of the whole plan.
+        """
+        self._writer.flush()
+        for partition in sorted(spill_files(self._directory)):
+            yield self._partition_aggregator(partition)
+
+    def _partition_aggregator(self, partition: int) -> DistinctCountAggregator:
+        files = spill_files(self._directory).get(partition, [])
+        aggregator = DistinctCountAggregator(*self.config)
+        for path in files:
+            for key, hashes in read_spill_file(path):
+                sketch = aggregator._groups.get(key)
+                if sketch is None:
+                    sketch = aggregator._new_sketch()
+                    aggregator._groups[key] = sketch
+                sketch.add_hashes(hashes)
+        return aggregator
+
+    def iter_estimates(self) -> Iterator[tuple[bytes, float]]:
+        """Stream ``(key, estimate)`` pairs partition by partition."""
+        for aggregator in self.partition_aggregators():
+            yield from aggregator.estimates().items()
+
+    def estimates(self) -> dict[bytes, float]:
+        """All group estimates (materialises one float per group)."""
+        return dict(self.iter_estimates())
+
+    def estimate(self, group: Hashable) -> float:
+        """One group's estimate (reads only that group's partition)."""
+        key = DistinctCountAggregator._group_key(group)
+        self._writer.flush()
+        partial = self._partition_aggregator(_partition_of(key, self._partitions))
+        sketch = partial._groups.get(key)
+        return sketch.estimate() if sketch is not None else 0.0
+
+    def group_count(self) -> int:
+        """Total distinct groups across all partitions (streamed)."""
+        return sum(len(partial) for partial in self.partition_aggregators())
+
+    def to_aggregator(self) -> DistinctCountAggregator:
+        """Collapse all partitions into one in-memory aggregator.
+
+        Defeats the memory bound (all groups at once) — intended for
+        modest group counts and for bit-identity checks against the
+        in-memory path.
+        """
+        result = DistinctCountAggregator(*self.config)
+        for partial in self.partition_aggregators():
+            result.merge_inplace(partial)
+        return result
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def cleanup(self) -> None:
+        """Close and delete all spill files (the aggregation is consumed)."""
+        self.close()
+        for files in spill_files(self._directory).values():
+            for path in files:
+                path.unlink()
+
+    def __enter__(self) -> "SpilledGroupBy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SpilledGroupBy(directory={str(self._directory)!r}, "
+            f"partitions={self._partitions}, spilled={self.records_spilled})"
+        )

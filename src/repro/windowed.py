@@ -11,15 +11,25 @@ The window is *bucket-aligned*: a query covers between ``window`` and
 ``window + bucket_width`` of history (the usual trade-off of the bucketed
 approach; exact sliding windows need timestamped registers and lose
 ExaLogLog's fixed-size state).
+
+Live buckets are RAM-only and vanish when the bucket ages out — unless a
+:class:`repro.store.SketchStore` is attached (``store=``), in which case
+every evicted bucket's sketch retires durably into the store under
+``<store_prefix><bucket index>`` before being dropped, so the full
+history remains queryable (and crash-recoverable) after the window moved
+on.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.exaloglog import ExaLogLog
 from repro.hashing import hash64
+
+if TYPE_CHECKING:
+    from repro.store import SketchStore
 
 
 class SlidingWindowDistinctCounter:
@@ -32,7 +42,17 @@ class SlidingWindowDistinctCounter:
     2
     """
 
-    __slots__ = ("_bucket_width", "_buckets", "_d", "_p", "_seed", "_sketches", "_t")
+    __slots__ = (
+        "_bucket_width",
+        "_buckets",
+        "_d",
+        "_p",
+        "_seed",
+        "_sketches",
+        "_store",
+        "_store_prefix",
+        "_t",
+    )
 
     def __init__(
         self,
@@ -42,6 +62,8 @@ class SlidingWindowDistinctCounter:
         d: int = 20,
         p: int = 8,
         seed: int = 0,
+        store: "SketchStore | None" = None,
+        store_prefix: str = "bucket:",
     ) -> None:
         if window <= 0.0:
             raise ValueError("window must be positive")
@@ -53,6 +75,22 @@ class SlidingWindowDistinctCounter:
         self._d = d
         self._p = p
         self._seed = seed
+        if store is not None:
+            store_t, store_d, store_p, _, store_seed = store.aggregator._config
+            if (store_t, store_d, store_p) != (t, d, p):
+                raise ValueError(
+                    f"store sketches are (t, d, p)=({store_t}, {store_d}, "
+                    f"{store_p}); the window uses ({t}, {d}, {p}) — retired "
+                    "buckets could not merge"
+                )
+            if store_seed != seed:
+                raise ValueError(
+                    f"store hashes with seed {store_seed}, the window with "
+                    f"seed {seed} — merging their sketches would double-count "
+                    "identical items"
+                )
+        self._store = store
+        self._store_prefix = store_prefix
         #: bucket index -> sketch, oldest first.
         self._sketches: OrderedDict[int, ExaLogLog] = OrderedDict()
 
@@ -84,7 +122,31 @@ class SlidingWindowDistinctCounter:
             oldest = next(iter(self._sketches))
             if oldest > cutoff:
                 break
+            self._retire(oldest, self._sketches[oldest])
             del self._sketches[oldest]
+
+    def _retire(self, bucket: int, sketch: ExaLogLog) -> None:
+        """Persist an evicted bucket into the attached store (if any)."""
+        if self._store is not None and not sketch.is_empty:
+            self._store.merge_sketch(f"{self._store_prefix}{bucket}", sketch)
+
+    def flush_to_store(self) -> int:
+        """Retire all *live* buckets into the store without evicting them.
+
+        Durable shutdown/checkpoint hook: after this, the store holds
+        every bucket ever fed to the counter (evicted ones retired on
+        eviction, live ones now). Safe to call repeatedly — sketch merges
+        are idempotent, so re-flushing a bucket is a no-op for its
+        estimate. Returns the number of buckets written.
+        """
+        if self._store is None:
+            raise ValueError("no store attached to this counter")
+        flushed = 0
+        for bucket, sketch in self._sketches.items():
+            if not sketch.is_empty:
+                self._store.merge_sketch(f"{self._store_prefix}{bucket}", sketch)
+                flushed += 1
+        return flushed
 
     # -- updates -----------------------------------------------------------------
 

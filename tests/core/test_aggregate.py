@@ -56,6 +56,36 @@ class TestAccumulation:
         assert decode(to_bytes(65)) == to_bytes(65).hex()
         assert decode(b"\xff\xfe") == "fffe"
 
+    def test_decode_key_hex_fallback_round_trips(self):
+        """Hex-fallback keys recover the canonical key via bytes.fromhex.
+
+        The docstring example of :mod:`repro.aggregate` promises exactly
+        this: whenever ``decode_key`` falls back to a hex digest, the
+        digest is lossless — ``bytes.fromhex`` reproduces the stored key
+        byte for byte, so display forms can be mapped back to groups.
+        """
+        from repro.hashing import to_bytes
+
+        decode = DistinctCountAggregator.decode_key
+        fallback_groups = [0, 1, -1, 65, 2**63, -(2**40), 3.25, b"\xff\xfe", b"\x00"]
+        for group in fallback_groups:
+            key = to_bytes(group)
+            decoded = decode(key)
+            assert decoded == key.hex(), f"{group!r} should hit the hex fallback"
+            assert bytes.fromhex(decoded) == key
+        # Printable strings take the UTF-8 branch instead and also round-trip.
+        for group in ["DE", "schlüssel", "a b"]:
+            key = to_bytes(group)
+            assert decode(key) == group
+            assert decode(key).encode("utf-8") == key
+        # End to end: an aggregator keyed by an integer group exposes a
+        # hex display key that maps back to the canonical stored key.
+        aggregator = DistinctCountAggregator(p=4)
+        aggregator.add(1, "alice")
+        [key] = aggregator.groups()
+        assert bytes.fromhex(decode(key)) == key
+        assert aggregator.estimate(1) == aggregator.estimates()[key]
+
 
 class TestMerge:
     def test_merge_equals_union(self):

@@ -1,0 +1,112 @@
+"""The ``python -m repro.store`` CLI, including the crash-recovery drill."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.store.__main__ import CRASH_EXIT_CODE, main
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def _run(*arguments):
+    """Run the CLI in a subprocess (needed for --crash, honest elsewhere)."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro.store", *arguments],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestInProcess:
+    def test_ingest_then_query(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        assert main(["ingest", directory, "--group", "g", "--items", "a", "b", "a"]) == 0
+        assert main(["query", directory, "--group", "g"]) == 0
+        output = capsys.readouterr().out
+        assert "g\t" in output
+
+    def test_query_expectation_gate(self, tmp_path):
+        directory = str(tmp_path / "s")
+        main(["ingest", directory, "--group", "g", "--count", "20000"])
+        assert (
+            main(["query", directory, "--group", "g", "--expect", "20000", "--tolerance", "0.2"])
+            == 0
+        )
+        assert (
+            main(["query", directory, "--group", "g", "--expect", "1000", "--tolerance", "0.2"])
+            == 1
+        )
+
+    def test_compact_and_info(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        main(["ingest", directory, "--group", "g", "--count", "1000"])
+        assert main(["compact", directory]) == 0
+        assert main(["info", directory]) == 0
+        output = capsys.readouterr().out
+        assert "generation:  1" in output
+
+    def test_query_all_groups_decodes_keys(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        main(["ingest", directory, "--group", "alpha", "--items", "x"])
+        main(["ingest", directory, "--group", "beta", "--items", "y", "z"])
+        assert main(["query", directory, "--top", "1"]) == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        assert output[-1].startswith("beta\t")
+
+    def test_ingest_requires_input(self, tmp_path):
+        assert main(["ingest", str(tmp_path / "s"), "--group", "g"]) == 2
+
+    def test_custom_parameters(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        main(["ingest", directory, "--group", "g", "--items", "a", "--t", "1", "--d", "9", "--p", "6"])
+        main(["info", directory])
+        assert "t=1 d=9 p=6" in capsys.readouterr().out
+
+    def test_ingest_into_nondefault_store_without_flags(self, tmp_path):
+        """Omitted --t/--d/--p defer to the persisted configuration."""
+        directory = str(tmp_path / "s")
+        main(["ingest", directory, "--group", "g", "--items", "a", "--p", "10"])
+        assert main(["ingest", directory, "--group", "g", "--items", "b"]) == 0
+
+
+class TestCrashRecovery:
+    def test_crash_ingest_then_recover_and_verify(self, tmp_path):
+        """The CI smoke drill: ingest → kill -9 equivalent → recover → verify."""
+        directory = str(tmp_path / "s")
+        crashed = _run(
+            "ingest", directory, "--group", "demo", "--count", "30000", "--crash"
+        )
+        assert crashed.returncode == CRASH_EXIT_CODE, crashed.stderr
+        assert "simulating crash" in crashed.stdout
+        # No snapshot of the data exists — only WAL records.
+        recovered = _run(
+            "query", directory, "--group", "demo", "--expect", "30000", "--tolerance", "0.2"
+        )
+        assert recovered.returncode == 0, recovered.stdout + recovered.stderr
+        assert "-> ok" in recovered.stdout
+
+    def test_crash_with_auto_compaction(self, tmp_path):
+        directory = str(tmp_path / "s")
+        crashed = _run(
+            "ingest",
+            directory,
+            "--group",
+            "demo",
+            "--count",
+            "30000",
+            "--compact-every",
+            "65536",
+            "--crash",
+        )
+        assert crashed.returncode == CRASH_EXIT_CODE, crashed.stderr
+        info = _run("info", directory)
+        assert info.returncode == 0
+        assert "generation:  0" not in info.stdout  # compaction happened
+        recovered = _run(
+            "query", directory, "--group", "demo", "--expect", "30000", "--tolerance", "0.2"
+        )
+        assert recovered.returncode == 0, recovered.stdout + recovered.stderr

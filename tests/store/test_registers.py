@@ -1,0 +1,163 @@
+"""Memmap register files: bit-identity with the in-memory sketch family."""
+
+import numpy as np
+import pytest
+
+from repro.backends import supports_bulk
+from repro.baselines.hyperloglog import HyperLogLog
+from repro.baselines.pcsa import PCSA
+from repro.core.exaloglog import ExaLogLog
+from repro.storage.serialization import SerializationError
+from repro.store import MemmapRegisters
+
+
+def _hashes(seed, count):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return rng.integers(0, 1 << 64, size=count, dtype=np.uint64)
+
+
+ELL_CONFIGS = [(0, 2, 4), (1, 9, 6), (2, 16, 6), (2, 20, 8), (2, 24, 6)]
+
+
+class TestExaLogLogKind:
+    @pytest.mark.parametrize("t,d,p", ELL_CONFIGS)
+    def test_bit_identity_single_batch(self, tmp_path, t, d, p):
+        hashes = _hashes(7, 5000)
+        reference = ExaLogLog(t, d, p).add_hashes(hashes)
+        with MemmapRegisters.create(tmp_path / "r.reg", "exaloglog", t, d, p) as reg:
+            reg.add_hashes(hashes)
+            assert reg.to_sketch().to_bytes() == reference.to_bytes()
+            assert reg.registers.tolist() == list(reference.registers)
+            assert reg.estimate() == reference.estimate()
+
+    def test_bit_identity_incremental_batches(self, tmp_path):
+        hashes = _hashes(11, 9000)
+        reference = ExaLogLog(2, 20, 8).add_hashes(hashes)
+        with MemmapRegisters.create(tmp_path / "r.reg", p=8) as reg:
+            for start in range(0, len(hashes), 1000):
+                reg.add_hashes(hashes[start : start + 1000])
+            assert reg.to_sketch().to_bytes() == reference.to_bytes()
+
+    def test_bit_identity_against_scalar_loop(self, tmp_path):
+        hashes = _hashes(13, 400)
+        reference = ExaLogLog(2, 20, 5)
+        for value in hashes.tolist():
+            reference.add_hash(value)
+        with MemmapRegisters.create(tmp_path / "r.reg", "exaloglog", 2, 20, 5) as reg:
+            reg.add_hashes(hashes)
+            assert reg.to_sketch() == reference
+
+    def test_persists_across_reopen(self, tmp_path):
+        hashes = _hashes(17, 6000)
+        reference = ExaLogLog(2, 20, 8).add_hashes(hashes)
+        with MemmapRegisters.create(tmp_path / "r.reg", p=8) as reg:
+            reg.add_hashes(hashes[:3000])
+        with MemmapRegisters.open(tmp_path / "r.reg") as reg:
+            assert reg.params.t == 2 and reg.params.d == 20 and reg.params.p == 8
+            reg.add_hashes(hashes[3000:])
+            assert reg.to_sketch().to_bytes() == reference.to_bytes()
+
+    def test_add_batch_items(self, tmp_path):
+        items = [f"user{i}" for i in range(500)]
+        reference = ExaLogLog(2, 20, 8).add_batch(items)
+        with MemmapRegisters.create(tmp_path / "r.reg", p=8) as reg:
+            reg.add_batch(items)
+            assert reg.to_sketch().to_bytes() == reference.to_bytes()
+
+    def test_merge_registers(self, tmp_path):
+        left, right = _hashes(19, 4000), _hashes(23, 4000)
+        reference = ExaLogLog(2, 20, 8).add_hashes(np.concatenate([left, right]))
+        with MemmapRegisters.create(tmp_path / "a.reg", p=8) as a, MemmapRegisters.create(
+            tmp_path / "b.reg", p=8
+        ) as b:
+            a.add_hashes(left)
+            b.add_hashes(right)
+            a.merge_registers(b.registers)
+            assert a.to_sketch().to_bytes() == reference.to_bytes()
+
+
+class TestOtherKinds:
+    def test_hyperloglog_bit_identity(self, tmp_path):
+        hashes = _hashes(29, 5000)
+        reference = HyperLogLog(10).add_hashes(hashes)
+        with MemmapRegisters.create(tmp_path / "h.reg", "hyperloglog", p=10) as reg:
+            reg.add_hashes(hashes[:2500]).add_hashes(hashes[2500:])
+            sketch = reg.to_sketch()
+            assert sketch.registers == reference.registers
+            assert sketch.estimate() == reference.estimate()
+
+    def test_pcsa_bit_identity(self, tmp_path):
+        hashes = _hashes(31, 5000)
+        reference = PCSA(8).add_hashes(hashes)
+        with MemmapRegisters.create(tmp_path / "p.reg", "pcsa", p=8) as reg:
+            reg.add_hashes(hashes[:100]).add_hashes(hashes[100:])
+            sketch = reg.to_sketch()
+            assert sketch.bitmaps == reference.bitmaps
+            assert sketch.estimate() == reference.estimate()
+
+    def test_kind_roundtrips_through_header(self, tmp_path):
+        for kind in ("hyperloglog", "pcsa"):
+            path = tmp_path / f"{kind}.reg"
+            MemmapRegisters.create(path, kind, p=6).close()
+            with MemmapRegisters.open(path) as reg:
+                assert reg.kind == kind
+                assert reg.m == 64
+
+
+class TestProtocolAndErrors:
+    def test_satisfies_bulk_backend_protocol(self, tmp_path):
+        with MemmapRegisters.create(tmp_path / "r.reg", p=4) as reg:
+            assert supports_bulk(reg)
+
+    def test_empty_batch_is_noop(self, tmp_path):
+        with MemmapRegisters.create(tmp_path / "r.reg", p=4) as reg:
+            reg.add_hashes(np.array([], dtype=np.uint64))
+            assert reg.is_empty
+
+    def test_create_refuses_overwrite(self, tmp_path):
+        MemmapRegisters.create(tmp_path / "r.reg", p=4).close()
+        with pytest.raises(FileExistsError):
+            MemmapRegisters.create(tmp_path / "r.reg", p=4)
+
+    def test_open_rejects_foreign_file(self, tmp_path):
+        (tmp_path / "junk.reg").write_bytes(b"not a register file at all")
+        with pytest.raises(SerializationError):
+            MemmapRegisters.open(tmp_path / "junk.reg")
+
+    def test_open_rejects_wrong_size(self, tmp_path):
+        path = tmp_path / "r.reg"
+        MemmapRegisters.create(path, p=4).close()
+        with open(path, "ab") as handle:
+            handle.write(b"\x00" * 8)
+        with pytest.raises(SerializationError, match="bytes"):
+            MemmapRegisters.open(path)
+
+    def test_open_or_create_validates_parameters(self, tmp_path):
+        path = tmp_path / "r.reg"
+        MemmapRegisters.create(path, "exaloglog", 2, 20, 6).close()
+        with MemmapRegisters.open_or_create(path, "exaloglog", 2, 20, 6) as reg:
+            assert reg.params.p == 6
+        with pytest.raises(ValueError, match="requested"):
+            MemmapRegisters.open_or_create(path, "exaloglog", 2, 20, 8)
+        with pytest.raises(ValueError, match="requested"):
+            MemmapRegisters.open_or_create(path, "hyperloglog", p=6)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown register kind"):
+            MemmapRegisters.create(tmp_path / "r.reg", "cpc", p=4)
+
+    def test_oversized_registers_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="int64"):
+            MemmapRegisters.create(tmp_path / "r.reg", "exaloglog", t=2, d=58, p=4)
+
+    def test_failed_create_leaves_no_file(self, tmp_path):
+        path = tmp_path / "r.reg"
+        for kwargs in ({"t": 2, "d": 58, "p": 4}, {"t": 2, "d": 70, "p": 4}):
+            with pytest.raises(ValueError):
+                MemmapRegisters.create(path, "exaloglog", **kwargs)
+            assert not path.exists()
+        with pytest.raises(ValueError):
+            MemmapRegisters.create(path, "nosuchkind", p=4)
+        assert not path.exists()
+        # The path stays usable for a corrected retry.
+        MemmapRegisters.create(path, "exaloglog", 2, 20, 4).close()
