@@ -1,0 +1,252 @@
+"""Estimation throughput: scalar Alg. 3 + Alg. 8 vs the batched engine.
+
+Measures the query side that PR 4 vectorises:
+
+* **single-sketch ML estimate** — ``compute_coefficients`` +
+  ``estimate_from_coefficients`` (the pre-batch scalar pipeline) against
+  ``ExaLogLog.estimate()``'s vectorised fast path, at p = 11 and p = 14.
+* **grouped estimates()** — a ``DistinctCountAggregator`` with many
+  groups, scalar per-group pipeline against the one-shot batched
+  ``estimates()`` (stacked register matrix, simultaneous Newton solve).
+* **family-wide** — ``HyperLogLog.estimate_ml_many`` over a sketch fleet
+  (context row, not gated).
+
+Every comparison asserts bit-identical results before reporting a
+speedup — the batched engine's contract is exact equality, not
+approximation. Results go to ``BENCH_estimate.json`` and a text table
+under ``benchmarks/output/``.
+
+Acceptance gates (full mode): >= 10x single-sketch at p >= 14 and
+>= 50x on the >= 10k-group ``estimates()``. Quick mode (CI, 1-core
+runners) shrinks the workload and relaxes the gates to the correctness
+assertion only, mirroring the parallel bench's SKIP convention.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_estimate.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.aggregate import DistinctCountAggregator
+from repro.baselines.hyperloglog import HyperLogLog
+from repro.core.exaloglog import ExaLogLog
+from repro.core.mlestimation import compute_coefficients, estimate_from_coefficients
+from repro.experiments.common import format_table
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_JSON = REPO_ROOT / "BENCH_estimate.json"
+OUTPUT_TXT = pathlib.Path(__file__).resolve().parent / "output" / "bench_estimate.txt"
+
+#: Timed repetitions of the batched call (best-of; first calls pay
+#: allocator and table-build costs that are not the estimation path).
+BATCH_ROUNDS = 3
+
+
+def _scalar_estimate(sketch) -> float:
+    """The pre-batch pipeline: scalar Algorithm 3 + Algorithm 8 + Eq. (4)."""
+    return estimate_from_coefficients(
+        compute_coefficients(sketch._registers, sketch.params), sketch.params
+    )
+
+
+def bench_single(p: int, n: int, rng, scalar_rounds: int) -> dict:
+    sketch = ExaLogLog(2, 20, p)
+    sketch.add_hashes(rng.integers(0, 1 << 64, size=n, dtype=np.uint64))
+
+    start = time.perf_counter()
+    for _ in range(scalar_rounds):
+        scalar = _scalar_estimate(sketch)
+    scalar_seconds = (time.perf_counter() - start) / scalar_rounds
+
+    sketch.estimate()  # warm tables and the LUT plan
+    batched_seconds = float("inf")
+    for _ in range(10 * BATCH_ROUNDS):
+        start = time.perf_counter()
+        batched = sketch.estimate()
+        batched_seconds = min(batched_seconds, time.perf_counter() - start)
+
+    if batched != scalar:
+        raise AssertionError(
+            f"batched single-sketch estimate diverged at p={p}: "
+            f"{batched!r} != {scalar!r}"
+        )
+    return {
+        "section": "single",
+        "config": f"ELL(2,20) p={p}",
+        "rows": 1,
+        "n": n,
+        "scalar_s": scalar_seconds,
+        "batched_s": batched_seconds,
+        "speedup": scalar_seconds / batched_seconds,
+    }
+
+
+def bench_groups(p: int, groups: int, items_per_group: int, rng) -> dict:
+    aggregator = DistinctCountAggregator(t=2, d=20, p=p, sparse=False)
+    for group in range(groups):
+        sketch = ExaLogLog(2, 20, p)
+        sketch.add_hashes(
+            rng.integers(0, 1 << 64, size=items_per_group, dtype=np.uint64)
+        )
+        aggregator._groups[str(group).encode()] = sketch
+
+    sketches = list(aggregator._groups.values())
+    start = time.perf_counter()
+    scalar = [_scalar_estimate(sketch) for sketch in sketches]
+    scalar_seconds = time.perf_counter() - start
+
+    aggregator.estimates()  # warm tables and the LUT plan
+    batched_seconds = float("inf")
+    for _ in range(BATCH_ROUNDS):
+        start = time.perf_counter()
+        batched = aggregator.estimates()
+        batched_seconds = min(batched_seconds, time.perf_counter() - start)
+
+    if list(batched.values()) != scalar:
+        raise AssertionError(
+            f"batched group estimates diverged from the scalar pipeline "
+            f"(p={p}, {groups} groups)"
+        )
+    return {
+        "section": "groups",
+        "config": f"estimates() p={p}",
+        "rows": groups,
+        "n": groups * items_per_group,
+        "scalar_s": scalar_seconds,
+        "batched_s": batched_seconds,
+        "speedup": scalar_seconds / batched_seconds,
+    }
+
+
+def bench_hyperloglog(p: int, count: int, items_per_sketch: int, rng) -> dict:
+    sketches = []
+    for _ in range(count):
+        sketch = HyperLogLog(p)
+        sketch.add_hashes(
+            rng.integers(0, 1 << 64, size=items_per_sketch, dtype=np.uint64)
+        )
+        sketches.append(sketch)
+
+    from repro.core.params import make_params
+
+    params = make_params(0, 0, p)
+    start = time.perf_counter()
+    scalar = [
+        estimate_from_coefficients(
+            compute_coefficients(sketch._registers, params), params
+        )
+        for sketch in sketches
+    ]
+    scalar_seconds = time.perf_counter() - start
+
+    HyperLogLog.estimate_ml_many(sketches)
+    batched_seconds = float("inf")
+    for _ in range(BATCH_ROUNDS):
+        start = time.perf_counter()
+        batched = HyperLogLog.estimate_ml_many(sketches)
+        batched_seconds = min(batched_seconds, time.perf_counter() - start)
+
+    if batched.tolist() != scalar:
+        raise AssertionError("batched HLL ML estimates diverged from scalar")
+    return {
+        "section": "hll",
+        "config": f"HLL ML many p={p}",
+        "rows": count,
+        "n": count * items_per_sketch,
+        "scalar_s": scalar_seconds,
+        "batched_s": batched_seconds,
+        "speedup": scalar_seconds / batched_seconds,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: small workload, correctness-only (no speedup gate)",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=OUTPUT_JSON, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+    rng = np.random.Generator(np.random.PCG64(0xE571))
+
+    rows = []
+    if args.quick:
+        rows.append(bench_single(11, 16_000, rng, scalar_rounds=5))
+        rows.append(bench_single(14, 50_000, rng, scalar_rounds=2))
+        rows.append(bench_groups(8, 400, 500, rng))
+        rows.append(bench_hyperloglog(10, 200, 2_000, rng))
+    else:
+        rows.append(bench_single(11, 16_000, rng, scalar_rounds=10))
+        rows.append(bench_single(14, 200_000, rng, scalar_rounds=5))
+        rows.append(bench_groups(10, 10_000, 8_000, rng))
+        rows.append(bench_hyperloglog(12, 2_000, 20_000, rng))
+
+    for row in rows:
+        print(
+            f"{row['config']:22s} rows={row['rows']:>6,d}  "
+            f"scalar {row['scalar_s']:9.4f} s  batched {row['batched_s']:9.5f} s"
+            f"  speedup {row['speedup']:7.1f}x"
+        )
+
+    single_gate = next(
+        row["speedup"] for row in rows if row["section"] == "single" and "p=14" in row["config"]
+    )
+    groups_gate = next(row["speedup"] for row in rows if row["section"] == "groups")
+    payload = {
+        "quick": args.quick,
+        "results": rows,
+        "single_sketch_p14_speedup": single_gate,
+        "grouped_estimates_speedup": groups_gate,
+        "bit_identical": True,  # asserted above, the run fails otherwise
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    OUTPUT_TXT.parent.mkdir(exist_ok=True)
+    OUTPUT_TXT.write_text(
+        "== estimation: scalar Alg.3 + Alg.8 pipeline vs batched engine ==\n"
+        + format_table(
+            rows, ["section", "config", "rows", "n", "scalar_s", "batched_s", "speedup"]
+        )
+        + "\n"
+    )
+    print(f"\nwrote {args.output} and {OUTPUT_TXT}")
+
+    if args.quick:
+        # Mirrors the parallel bench's convention: on CI runners timing is
+        # not meaningful, so the speedup gate is skipped and the run
+        # stands on the bit-identity assertions above.
+        print(
+            "SKIP: speedup gates skipped in quick mode "
+            "(bit-identity of all batched estimates asserted)"
+        )
+        return 0
+    failed = False
+    if single_gate < 10.0:
+        print(f"FAIL: single-sketch p=14 speedup {single_gate:.1f}x < 10x")
+        failed = True
+    if groups_gate < 50.0:
+        print(f"FAIL: grouped estimates() speedup {groups_gate:.1f}x < 50x")
+        failed = True
+    if not failed:
+        print(
+            f"OK: single-sketch p=14 {single_gate:.1f}x >= 10x, "
+            f"grouped estimates() {groups_gate:.1f}x >= 50x"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,8 @@ Two estimators:
 
 from __future__ import annotations
 
+import math
+
 from repro.baselines.base import OBJECT_OVERHEAD_BYTES, DistinctCounter
 from repro.estimation.newton import solve_ml_equation
 from repro.storage.serialization import (
@@ -119,24 +121,73 @@ class PCSA(DistinctCounter):
     def estimate(self) -> float:
         return self.estimate_ml()
 
-    def estimate_ml(self) -> float:
-        """ML estimation via the shared Eq. (15)-shaped likelihood.
+    def _ml_coefficients(self) -> tuple[float, dict[int, int]]:
+        """Canonical (alpha, beta) of the bitmap likelihood.
 
         Set bit at level k:   contributes ln(1 - exp(-n rho_k / m))
         Unset bit at level k: contributes -n rho_k / m
         with rho_k a power of two, so beta is keyed by the exponent.
+        Counts are accumulated per level first and alpha summed in
+        ascending-exponent order — the form the vectorised
+        :meth:`estimate_ml_many` reproduces bit for bit.
         """
-        alpha = 0.0
-        beta: dict[int, int] = {}
         last = self._levels - 1
+        set_counts = [0] * self._levels
         for bitmap in self._bitmaps:
             for level in range(self._levels):
-                exponent = level + 1 if level < last else last
-                if (bitmap >> level) & 1:
-                    beta[exponent] = beta.get(exponent, 0) + 1
-                else:
-                    alpha += 2.0 ** -exponent
+                set_counts[level] += (bitmap >> level) & 1
+        alpha = 0.0
+        beta: dict[int, int] = {}
+        for level in range(self._levels):
+            exponent = level + 1 if level < last else last
+            beta[exponent] = beta.get(exponent, 0) + set_counts[level]
+            alpha += (self._m - set_counts[level]) * 2.0 ** -exponent
+        return alpha, {e: c for e, c in beta.items() if c}
+
+    def estimate_ml(self) -> float:
+        """ML estimation via the shared Eq. (15)-shaped likelihood.
+
+        Implements the paper's Sec. 6 suggestion: the bitmap likelihood
+        has exactly the Eq. (15) shape, so the shared Newton solver
+        applies unchanged. For ``m >= 256`` this routes through the
+        vectorised batch solver (bit-identical).
+        """
+        if self._m >= 256:
+            return float(self.estimate_ml_many([self])[0])
+        alpha, beta = self._ml_coefficients()
         return self._m * solve_ml_equation(alpha, beta).nu
+
+    @classmethod
+    def estimate_ml_many(cls, sketches):
+        """Vectorised ML estimates for many same-``p`` PCSA sketches.
+
+        Per-level set-bit counts vectorise over a stacked bitmap matrix;
+        all sketches then solve in one simultaneous Newton iteration on
+        the shared :func:`repro.estimation.batch.solve_ml_equations`.
+        """
+        import numpy as np
+
+        from repro.estimation.batch import EXPONENT_AXIS, solve_ml_equations
+
+        if not sketches:
+            return np.zeros(0)
+        m = sketches[0].m
+        levels = sketches[0].levels
+        if any(sketch.m != m for sketch in sketches):
+            raise ValueError("sketches must share the same precision p")
+        matrix = np.array([sketch._bitmaps for sketch in sketches], dtype=np.int64)
+        k = len(sketches)
+        last = levels - 1
+        set_counts = np.empty((k, levels), dtype=np.int64)
+        for level in range(levels):
+            set_counts[:, level] = ((matrix >> np.int64(level)) & np.int64(1)).sum(axis=1)
+        alpha = np.zeros(k)
+        beta = np.zeros((k, EXPONENT_AXIS), dtype=np.int64)
+        for level in range(levels):
+            exponent = level + 1 if level < last else last
+            beta[:, exponent] += set_counts[:, level]
+            alpha += (m - set_counts[:, level]) * math.ldexp(1.0, -exponent)
+        return m * solve_ml_equations(alpha, beta).nu
 
     def estimate_fm(self) -> float:
         """The original Flajolet-Martin estimator ``m 2**mean(R) / 0.77351``."""
@@ -148,6 +199,32 @@ class PCSA(DistinctCounter):
             total_r += r
         mean_r = total_r / self._m
         return self._m * (2.0 ** mean_r) / _FM_PHI
+
+    @classmethod
+    def estimate_fm_many(cls, sketches):
+        """Vectorised Flajolet-Martin estimates (bit-identical to scalar).
+
+        ``R`` per bucket is the number of trailing ones of the bitmap —
+        ``ntz(~bitmap)`` — which vectorises over the stacked matrix; the
+        integer totals make the float arithmetic identical per sketch.
+        """
+        import numpy as np
+
+        from repro.backends.bitops import ntz64_array
+
+        if not sketches:
+            return np.zeros(0)
+        m = sketches[0].m
+        if any(sketch.m != m for sketch in sketches):
+            raise ValueError("sketches must share the same precision p")
+        matrix = np.array([sketch._bitmaps for sketch in sketches], dtype=np.uint64)
+        lowest_unset = ntz64_array(~matrix)
+        totals = lowest_unset.sum(axis=1)
+        estimates = np.empty(len(sketches))
+        for i, total_r in enumerate(totals.tolist()):
+            mean_r = total_r / m
+            estimates[i] = m * (2.0 ** mean_r) / _FM_PHI
+        return estimates
 
     # -- merge -----------------------------------------------------------------------
 

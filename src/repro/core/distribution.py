@@ -118,15 +118,51 @@ def omega_table(params: ExaLogLogParams) -> tuple[float, ...]:
 
 
 @lru_cache(maxsize=64)
+def phi_array(params: ExaLogLogParams):
+    """``phi`` for ``k = 0 .. k_max`` as a read-only int64 NumPy array.
+
+    The single build behind both :func:`phi_table` (scalar paths) and the
+    batched estimation engine (:mod:`repro.estimation.batch`).
+    """
+    import numpy as np
+
+    array = np.fromiter(
+        (phi(k, params) for k in range(params.max_update_value + 1)),
+        dtype=np.int64,
+        count=params.max_update_value + 1,
+    )
+    array.setflags(write=False)
+    return array
+
+
+@lru_cache(maxsize=64)
+def omega_scaled_array(params: ExaLogLogParams):
+    """Integer ``omega(u) * 2**(64-p)`` for ``u = 0 .. k_max`` as uint64.
+
+    Every value is at most ``2**(64-p) <= 2**62``, so the exact integers
+    fit; read-only and shared with :func:`omega_scaled_table`.
+    """
+    import numpy as np
+
+    array = np.fromiter(
+        (omega_scaled(u, params) for u in range(params.max_update_value + 1)),
+        dtype=np.uint64,
+        count=params.max_update_value + 1,
+    )
+    array.setflags(write=False)
+    return array
+
+
+@lru_cache(maxsize=64)
 def phi_table(params: ExaLogLogParams) -> tuple[int, ...]:
     """Precomputed ``phi`` for ``k = 0 .. k_max`` (index = k)."""
-    return tuple(phi(k, params) for k in range(params.max_update_value + 1))
+    return tuple(phi_array(params).tolist())
 
 
 @lru_cache(maxsize=64)
 def omega_scaled_table(params: ExaLogLogParams) -> tuple[int, ...]:
     """Precomputed integer ``omega(u) * 2**(64-p)`` for ``u = 0 .. k_max``."""
-    return tuple(omega_scaled(u, params) for u in range(params.max_update_value + 1))
+    return tuple(omega_scaled_array(params).tolist())
 
 
 def chunk_probability(c: int, t: int) -> float:

@@ -55,7 +55,7 @@ class ExaLogLog:
         bits. The relative standard error scales like ``1/sqrt(m)``.
     """
 
-    __slots__ = ("_params", "_registers")
+    __slots__ = ("_array", "_array_source", "_params", "_registers")
 
     _serialization_tag = TAG_EXALOGLOG
 
@@ -66,6 +66,8 @@ class ExaLogLog:
     def __init__(self, t: int = 2, d: int = 20, p: int = 8) -> None:
         self._params = make_params(t, d, p)
         self._registers = [0] * self._params.m
+        self._array = None
+        self._array_source = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -80,6 +82,8 @@ class ExaLogLog:
         sketch = object.__new__(cls)
         sketch._params = params
         sketch._registers = [0] * params.m
+        sketch._array = None
+        sketch._array_source = None
         return sketch
 
     @classmethod
@@ -130,6 +134,29 @@ class ExaLogLog:
     def registers(self) -> tuple[int, ...]:
         """Snapshot of the register values."""
         return tuple(self._registers)
+
+    def registers_array(self):
+        """Registers as an int64 NumPy array (cached between state changes).
+
+        The bulk paths (:meth:`add_hashes`) already produce the register
+        array and keep it here, so stacking many sketches for the batch
+        estimation engine — ``DistinctCountAggregator.estimates()`` over
+        millions of groups — never converts Python lists. Scalar mutators
+        (:meth:`add_hash`, :meth:`merge_inplace`) invalidate the cache;
+        replacing ``_registers`` wholesale is detected by identity. The
+        returned array is read-only (like the ``registers`` tuple) —
+        writing through it would desync the cache from the list.
+        """
+        array = self._array
+        if array is not None and self._array_source is self._registers:
+            return array
+        import numpy as np
+
+        array = np.asarray(self._registers, dtype=np.int64)
+        array.setflags(write=False)
+        self._array = array
+        self._array_source = self._registers
+        return array
 
     @property
     def is_empty(self) -> bool:
@@ -200,12 +227,13 @@ class ExaLogLog:
         else:
             batch = backends.exaloglog_registers(hashes, params)
         if any(self._registers):
-            merged = backends.merge_exaloglog_registers(
+            batch = backends.merge_exaloglog_registers(
                 self._registers, batch, params.d
             )
-            self._registers = merged.tolist()
-        else:
-            self._registers = batch.tolist()
+        self._registers = batch.tolist()
+        batch.setflags(write=False)
+        self._array = batch
+        self._array_source = self._registers
         return self
 
     def add_hash(self, hash_value: int) -> bool:
@@ -228,11 +256,13 @@ class ExaLogLog:
         delta = k - u
         if delta > 0:
             registers[index] = (k << d) + (((1 << d) + (r & ((1 << d) - 1))) >> delta)
+            self._array = None
             return True
         if delta < 0 and d + delta >= 0:
             updated = r | (1 << (d + delta))
             if updated != r:
                 registers[index] = updated
+                self._array = None
                 return True
         return False
 
@@ -243,7 +273,18 @@ class ExaLogLog:
 
         The estimate is nearly unbiased with relative standard error about
         ``sqrt(MVP / ((6 + t + d) * m))`` over the whole operating range.
+
+        For ``m >= 1024`` (with registers fitting int64) this fast-paths
+        through the vectorised backend of :mod:`repro.estimation.batch`,
+        bit-identical to the scalar Algorithm 3 + Algorithm 8 pipeline
+        (below that the scalar loop wins on call overhead).
         """
+        params = self._params
+        if params.m >= 1024 and params.register_bits <= 63:
+            from repro.estimation.batch import estimate_registers
+
+            matrix = self.registers_array().reshape(1, -1)
+            return float(estimate_registers(matrix, params, bias_correction)[0])
         coefficients = compute_coefficients(self._registers, self._params)
         return estimate_from_coefficients(coefficients, self._params, bias_correction)
 
@@ -266,6 +307,7 @@ class ExaLogLog:
             )
         d = self._params.d
         registers = self._registers
+        self._array = None
         for i, r2 in enumerate(other._registers):
             if r2:
                 registers[i] = merge_register(registers[i], r2, d)

@@ -98,6 +98,7 @@ class MartingaleExaLogLog(ExaLogLog):
             alpha_contribution(old, params) - alpha_contribution(new, params)
         ) / params.m
         registers[index] = new
+        self._array = None
         return True
 
     def add_hashes(self, hashes) -> "MartingaleExaLogLog":

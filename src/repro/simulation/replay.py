@@ -27,6 +27,7 @@ from typing import Sequence
 from repro.core.distribution import omega_scaled_table, phi_table
 from repro.core.mlestimation import bias_correction_factor
 from repro.core.params import ExaLogLogParams
+from repro.estimation.batch import EXPONENT_AXIS
 from repro.estimation.newton import solve_ml_equation
 from repro.simulation.events import EventSchedule
 
@@ -59,6 +60,37 @@ def _ml_estimate(
     if estimate > 0.0:
         estimate *= bias_factor
     return estimate, solution.iterations
+
+
+def _solve_checkpoints(
+    alpha_snapshots: list[int],
+    beta_snapshots,
+    params: ExaLogLogParams,
+    bias_factor: float,
+) -> tuple[list[float], int]:
+    """One simultaneous Newton solve over all checkpoint coefficients.
+
+    Bit-identical to calling :func:`_ml_estimate` per checkpoint — the
+    batched solver replays the scalar float operations per row — but the
+    experiments harness, which replays millions of checkpoints per
+    figure, pays for one vectorised solve per run instead.
+    ``beta_snapshots`` is the preallocated ``(checkpoints, EXPONENT_AXIS)``
+    int64 matrix the replay loop filled row by row.
+    """
+    if not alpha_snapshots:
+        return [], 0
+    import numpy as np
+
+    from repro.estimation.batch import solve_ml_equations
+
+    shift = 64 - params.p
+    alpha = np.array([a / (1 << shift) for a in alpha_snapshots])
+    solution = solve_ml_equations(alpha, beta_snapshots)
+    estimates = params.m * solution.nu
+    estimates = np.where(
+        estimates > 0.0, estimates * bias_factor, estimates
+    )
+    return estimates.tolist(), int(solution.iterations.max())
 
 
 def bulk_final_registers(
@@ -104,16 +136,21 @@ def replay(
 
     registers = [0] * m
     alpha_scaled = m << shift  # every register starts with omega(0) = 1
-    beta = [0] * 66
+    beta = [0] * EXPONENT_AXIS
     martingale = 0.0
     alpha_norm = float(m << shift)  # mu = alpha_scaled / alpha_norm
 
+    import numpy as np
+
     checkpoints = sorted(float(c) for c in checkpoints)
-    ml_estimates: list[float] = []
-    martingale_estimates: list[float] = []
-    newton_max = 0
-    checkpoint_index = 0
     n_checkpoints = len(checkpoints)
+    alpha_snapshots: list[int] = []
+    # One row per checkpoint (not a Python list copy each): the beta
+    # coefficient vector has fixed length, so snapshots go straight into
+    # the matrix the batched end-of-replay solve consumes.
+    beta_snapshots = np.zeros((n_checkpoints, EXPONENT_AXIS), dtype=np.int64)
+    martingale_estimates: list[float] = []
+    checkpoint_index = 0
 
     times = schedule.times.tolist()
     event_registers = schedule.registers.tolist()
@@ -122,9 +159,8 @@ def replay(
     for position in range(len(times)):
         time = times[position]
         while checkpoint_index < n_checkpoints and checkpoints[checkpoint_index] < time:
-            estimate, iterations = _ml_estimate(alpha_scaled, beta, params, bias_factor)
-            newton_max = max(newton_max, iterations)
-            ml_estimates.append(estimate)
+            alpha_snapshots.append(alpha_scaled)
+            beta_snapshots[checkpoint_index] = beta
             martingale_estimates.append(martingale)
             checkpoint_index += 1
 
@@ -177,11 +213,14 @@ def replay(
         # k == u cannot occur (events are first occurrences).
 
     while checkpoint_index < n_checkpoints:
-        estimate, iterations = _ml_estimate(alpha_scaled, beta, params, bias_factor)
-        newton_max = max(newton_max, iterations)
-        ml_estimates.append(estimate)
+        alpha_snapshots.append(alpha_scaled)
+        beta_snapshots[checkpoint_index] = beta
         martingale_estimates.append(martingale)
         checkpoint_index += 1
+
+    ml_estimates, newton_max = _solve_checkpoints(
+        alpha_snapshots, beta_snapshots, params, bias_factor
+    )
 
     return ReplayResult(
         checkpoints=list(checkpoints),

@@ -12,6 +12,9 @@ Commands
 ``query``
     Print group estimates; ``--expect N --tolerance F`` turns it into a
     check (exit 1 on miss) for smoke tests.
+``estimate-all``
+    Batched estimates for every group: one simultaneous Newton solve
+    across the whole store, ``--top N`` for argpartition top-k.
 ``compact``
     Fold the WAL into a fresh snapshot generation.
 ``info``
@@ -84,6 +87,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed relative error against --expect (default 0.1)",
     )
 
+    estimate_all = commands.add_parser(
+        "estimate-all",
+        help="batched estimates for every group (one simultaneous solve)",
+    )
+    _add_store_arguments(estimate_all)
+    estimate_all.add_argument(
+        "--top",
+        type=int,
+        help="show only the TOP largest groups (argpartition selection)",
+    )
+
     compact = commands.add_parser("compact", help="fold the WAL into a new snapshot")
     _add_store_arguments(compact)
 
@@ -154,6 +168,25 @@ def _command_query(arguments: argparse.Namespace) -> int:
         store.close()
 
 
+def _command_estimate_all(arguments: argparse.Namespace) -> int:
+    """All group estimates through the batched query path.
+
+    Unlike ``query`` (which sorts every estimate), this routes through
+    ``DistinctCountAggregator.estimates()``/``top()``: one stacked
+    coefficient matrix and a single simultaneous Newton solve across all
+    groups, with optional argpartition top-k selection.
+    """
+    with SketchStore.open(arguments.directory) as store:
+        aggregator = store.aggregator
+        if arguments.top is not None:
+            rows = aggregator.top(arguments.top)
+        else:
+            rows = list(aggregator.estimates().items())
+        for key, estimate in rows:
+            print(f"{DistinctCountAggregator.decode_key(key)}\t{estimate:.1f}")
+    return 0
+
+
 def _command_compact(arguments: argparse.Namespace) -> int:
     with SketchStore.open(arguments.directory) as store:
         generation = store.compact()
@@ -178,6 +211,7 @@ def main(argv: "list[str] | None" = None) -> int:
     handler = {
         "ingest": _command_ingest,
         "query": _command_query,
+        "estimate-all": _command_estimate_all,
         "compact": _command_compact,
         "info": _command_info,
     }[arguments.command]

@@ -287,7 +287,23 @@ class MemmapRegisters:
         return sketch
 
     def estimate(self) -> float:
-        """Distinct-count estimate straight off the mapped registers."""
+        """Distinct-count estimate straight off the mapped registers.
+
+        The ExaLogLog and HyperLogLog kinds run the vectorised batch
+        engine directly on the mapped int64 array (HLL is the ELL(0, 0)
+        special case) — no ``tolist`` materialisation, bit-identical to
+        ``to_sketch().estimate()``. PCSA goes through its own vectorised
+        bitmap estimator via :meth:`to_sketch`.
+        """
+        if self._kind in ("exaloglog", "hyperloglog") and self._params.register_bits <= 63:
+            from repro.core.params import make_params
+            from repro.estimation.batch import estimate_registers
+
+            params = self._params
+            if self._kind == "hyperloglog":
+                params = make_params(0, 0, params.p)
+            matrix = np.asarray(self._array, dtype=np.int64).reshape(1, -1)
+            return float(estimate_registers(matrix, params)[0])
         return self.to_sketch().estimate()
 
     # -- durability -----------------------------------------------------------

@@ -304,13 +304,36 @@ class SpilledGroupBy:
         return aggregator
 
     def iter_estimates(self) -> Iterator[tuple[bytes, float]]:
-        """Stream ``(key, estimate)`` pairs partition by partition."""
+        """Stream ``(key, estimate)`` pairs partition by partition.
+
+        Each partition resolves through the aggregator's batched
+        estimation path — one simultaneous Newton solve per partition —
+        so memory stays bounded while the solve stays vectorised.
+        """
         for aggregator in self.partition_aggregators():
             yield from aggregator.estimates().items()
 
     def estimates(self) -> dict[bytes, float]:
         """All group estimates (materialises one float per group)."""
         return dict(self.iter_estimates())
+
+    def top(self, count: int) -> list[tuple[bytes, float]]:
+        """The ``count`` groups with the largest estimates.
+
+        Runs the batched top-k selection per partition and keeps a
+        ``count``-sized running candidate set, so only
+        ``O(partitions * count)`` pairs are ever held at once.
+        """
+        if count <= 0:
+            return []
+        best: list[tuple[bytes, float]] = []
+        for aggregator in self.partition_aggregators():
+            best.extend(aggregator.top(count))
+            if len(best) > count:
+                best.sort(key=lambda kv: -kv[1])
+                del best[count:]
+        best.sort(key=lambda kv: -kv[1])
+        return best[:count]
 
     def estimate(self, group: Hashable) -> float:
         """One group's estimate (reads only that group's partition)."""

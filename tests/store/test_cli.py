@@ -49,6 +49,27 @@ class TestInProcess:
         output = capsys.readouterr().out
         assert "generation:  1" in output
 
+    def test_estimate_all_lists_every_group(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        main(["ingest", directory, "--group", "alpha", "--count", "3000"])
+        main(["ingest", directory, "--group", "beta", "--items", "y", "z"])
+        capsys.readouterr()  # drop the ingest chatter
+        assert main(["estimate-all", directory]) == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        assert len(output) == 2
+        by_group = dict(line.split("\t") for line in output)
+        assert set(by_group) == {"alpha", "beta"}
+        assert float(by_group["beta"]) == pytest.approx(2.0, abs=0.5)
+
+    def test_estimate_all_top_selects_largest(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        main(["ingest", directory, "--group", "small", "--items", "x"])
+        main(["ingest", directory, "--group", "large", "--count", "5000"])
+        capsys.readouterr()  # drop the ingest chatter
+        assert main(["estimate-all", directory, "--top", "1"]) == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        assert len(output) == 1 and output[0].startswith("large\t")
+
     def test_query_all_groups_decodes_keys(self, tmp_path, capsys):
         directory = str(tmp_path / "s")
         main(["ingest", directory, "--group", "alpha", "--items", "x"])
