@@ -4,6 +4,7 @@ from repro.estimation.batch import (
     BatchCoefficients,
     BatchMLSolution,
     batch_estimate_sketches,
+    estimate_register_stacks,
     estimate_registers,
     register_coefficients,
     solve_ml_equations,
@@ -26,6 +27,7 @@ __all__ = [
     "BatchMLSolution",
     "MLSolution",
     "batch_estimate_sketches",
+    "estimate_register_stacks",
     "estimate_registers",
     "f_transformed",
     "log_likelihood",

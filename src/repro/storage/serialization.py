@@ -34,6 +34,8 @@ TAG_MEMMAP_REGISTERS = 0x40
 TAG_WAL = 0x41
 TAG_SNAPSHOT = 0x42
 TAG_SPILL = 0x43
+TAG_WAL_INDEX = 0x44
+TAG_SPILL_META = 0x45
 
 
 class SerializationError(ValueError):
@@ -193,6 +195,136 @@ def read_record(data: bytes, offset: int) -> tuple[int, bytes, bytes, int]:
             f"stored {stored_crc:#010x}, computed {actual_crc:#010x}"
         )
     return kind, key, payload, offset
+
+
+def write_lsn_record(
+    buffer: bytearray, lsn: int, kind: int, key: bytes, payload: bytes
+) -> None:
+    """Append one checksummed, LSN-stamped record to ``buffer``.
+
+    The WAL / replication framing: like :func:`write_record` but with the
+    log sequence number between the kind byte and the key::
+
+        kind (1) | uvarint lsn | uvarint key_len | key
+        | uvarint payload_len | payload | crc32 (4, LE, from kind onward)
+
+    The LSN lives under the CRC, so a shipped record carries its ordinal
+    tamper-evidently; followers deduplicate replayed records by it. The
+    framing is deterministic: re-encoding a received ``(lsn, kind, key,
+    payload)`` reproduces the writer's bytes exactly, which is what makes
+    follower WALs byte-comparable to the leader's.
+    """
+    import zlib
+
+    if not 0 <= kind <= 0xFF:
+        raise ValueError(f"record kind {kind} out of byte range")
+    start = len(buffer)
+    buffer.append(kind)
+    write_uvarint(buffer, lsn)
+    write_uvarint(buffer, len(key))
+    buffer.extend(key)
+    write_uvarint(buffer, len(payload))
+    buffer.extend(payload)
+    crc = zlib.crc32(buffer[start:])
+    buffer.extend(crc.to_bytes(4, "little"))
+
+
+def read_lsn_record(data: bytes, offset: int) -> tuple[int, int, bytes, bytes, int]:
+    """Read one LSN-stamped record, returning ``(lsn, kind, key, payload, new_offset)``.
+
+    Error split mirrors :func:`read_record`: :class:`IncompleteRecordError`
+    for a buffer ending inside the record, :class:`SerializationError` for
+    a complete record with a bad CRC.
+    """
+    import zlib
+
+    def read_length(at: int) -> tuple[int, int]:
+        try:
+            return read_uvarint(data, at)
+        except IncompleteRecordError:
+            raise
+        except SerializationError as error:
+            if str(error) == "truncated varint":
+                raise IncompleteRecordError(str(error)) from error
+            raise
+
+    start = offset
+    if offset >= len(data):
+        raise IncompleteRecordError("empty record")
+    kind = data[offset]
+    offset += 1
+    lsn, offset = read_length(offset)
+    key_length, offset = read_length(offset)
+    if offset + key_length > len(data):
+        raise IncompleteRecordError("record key runs past end of buffer")
+    key = bytes(data[offset : offset + key_length])
+    offset += key_length
+    payload_length, offset = read_length(offset)
+    if offset + payload_length + 4 > len(data):
+        raise IncompleteRecordError("record payload runs past end of buffer")
+    payload = bytes(data[offset : offset + payload_length])
+    offset += payload_length
+    stored_crc = int.from_bytes(data[offset : offset + 4], "little")
+    offset += 4
+    actual_crc = zlib.crc32(data[start : offset - 4])
+    if stored_crc != actual_crc:
+        raise SerializationError(
+            f"record checksum mismatch at offset {start}: "
+            f"stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        )
+    return lsn, kind, key, payload, offset
+
+
+def read_lsn_record_from(handle) -> "tuple[int, int, bytes, bytes] | None":
+    """Stream one LSN-stamped record from a binary handle.
+
+    Returns ``(lsn, kind, key, payload)``, or ``None`` at a clean end of
+    file. EOF inside the record raises :class:`IncompleteRecordError` —
+    for a live WAL being tailed that means "the writer is mid-append";
+    the caller seeks back to the record start and retries later.
+    """
+    import zlib
+
+    first = handle.read(1)
+    if not first:
+        return None
+    crc = zlib.crc32(first)
+    kind = first[0]
+
+    def read_exact(count: int, what: str) -> bytes:
+        nonlocal crc
+        data = handle.read(count)
+        if len(data) != count:
+            raise IncompleteRecordError(f"record {what} runs past end of file")
+        crc = zlib.crc32(data, crc)
+        return data
+
+    def read_length() -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = read_exact(1, "length varint")[0]
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 70:
+                raise SerializationError("varint too long")
+
+    lsn = read_length()
+    key = read_exact(read_length(), "key")
+    payload = read_exact(read_length(), "payload")
+    actual_crc = crc
+    stored = handle.read(4)
+    if len(stored) != 4:
+        raise IncompleteRecordError("record checksum runs past end of file")
+    stored_crc = int.from_bytes(stored, "little")
+    if stored_crc != actual_crc:
+        raise SerializationError(
+            f"record checksum mismatch: stored {stored_crc:#010x}, "
+            f"computed {actual_crc:#010x}"
+        )
+    return lsn, kind, key, payload
 
 
 def read_record_from(handle) -> "tuple[int, bytes, bytes] | None":

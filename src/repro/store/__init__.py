@@ -1,4 +1,4 @@
-"""Durable sketch store: persistence and spill-to-disk for the sketch family.
+"""Durable sketch store: persistence, spill-to-disk, concurrent reads, replication.
 
 Everything in-memory about this library dies with the process; this
 package is the disk layer that makes the paper's selling point — tiny,
@@ -8,24 +8,44 @@ mergeable, serializable sketch state — operational:
   register arrays the bulk backends fold straight into (bit-identical to
   the in-memory path, resident pages managed by the OS);
 * :class:`~repro.store.sketchstore.SketchStore` — a keyed, crash-
-  recoverable store: append-only WAL of hash batches + periodic
-  snapshots, WAL-tail replay on :meth:`~repro.store.sketchstore.SketchStore.open`,
-  compaction folding the log into a fresh snapshot;
+  recoverable store: append-only WAL of LSN-stamped hash batches +
+  periodic snapshots, WAL-tail replay on
+  :meth:`~repro.store.sketchstore.SketchStore.open`, compaction folding
+  the log into a fresh snapshot;
+* :class:`~repro.store.reader.SnapshotReader` — lock-free concurrent
+  query serving against a live writer: immutable snapshot + read-only
+  WAL tail, refreshable, with a monotone durable horizon;
+* :class:`~repro.store.replicate.WalShipper` /
+  :class:`~repro.store.replicate.FollowerStore` — async replication by
+  shipping the self-delimiting checksummed WAL records, applied
+  idempotently by LSN (catch-up ⇒ bit-identical registers);
+* :mod:`~repro.store.walindex` — group-level WAL index for selective
+  single-group replay;
 * :class:`~repro.store.spill.SpilledGroupBy` — external GROUP BY over
   hash-partitioned spill files, exact and memory-bounded at millions of
-  groups.
+  groups; :meth:`~repro.store.spill.SpilledGroupBy.attach` opens an
+  existing spill directory read-only from a query process.
 
 Entry points elsewhere: ``DistinctCountAggregator.add_batch(spill=...)``,
 ``SlidingWindowDistinctCounter(store=...)`` (buckets retire durably on
-eviction), and the ``python -m repro.store`` CLI (ingest/query/compact).
+eviction), and the ``python -m repro.store`` CLI
+(ingest/query/compact/serve/replicate/read-estimate).
 """
 
+from repro.store.reader import RefreshResult, SnapshotReader
 from repro.store.registers import MemmapRegisters
+from repro.store.replicate import FollowerStore, ShipResult, WalShipper
 from repro.store.sketchstore import (
     RECORD_HASHES,
     RECORD_SKETCH,
     SketchStore,
+    apply_wal_record,
+    latest_generation,
+    read_snapshot_header,
     replay_wal,
+    snapshot_path,
+    wal_index_path,
+    wal_path,
 )
 from repro.store.spill import (
     DEFAULT_PARTITIONS,
@@ -34,16 +54,30 @@ from repro.store.spill import (
     read_spill_file,
     spill_files,
 )
+from repro.store.walindex import WalIndexEntry, load_wal_index
 
 __all__ = [
     "DEFAULT_PARTITIONS",
+    "FollowerStore",
     "MemmapRegisters",
     "RECORD_HASHES",
     "RECORD_SKETCH",
+    "RefreshResult",
+    "ShipResult",
     "SketchStore",
+    "SnapshotReader",
     "SpillWriter",
     "SpilledGroupBy",
+    "WalIndexEntry",
+    "WalShipper",
+    "apply_wal_record",
+    "latest_generation",
+    "load_wal_index",
+    "read_snapshot_header",
     "read_spill_file",
     "replay_wal",
+    "snapshot_path",
     "spill_files",
+    "wal_index_path",
+    "wal_path",
 ]

@@ -15,10 +15,25 @@ Commands
 ``estimate-all``
     Batched estimates for every group: one simultaneous Newton solve
     across the whole store, ``--top N`` for argpartition top-k.
+``read-estimate``
+    Like ``query``, but through a lock-free
+    :class:`~repro.store.reader.SnapshotReader`: strictly read-only
+    (never truncates a torn WAL tail), safe against a live writer.
+    ``--selective`` answers a single group via the WAL index instead of
+    a full-log replay.
+``serve``
+    A long-running query process: open a reader, refresh on an
+    interval, report the durable horizon (and optionally the top-k
+    groups) after each refresh. Any number of ``serve`` processes can
+    run against one live writer.
+``replicate``
+    WAL-shipping replication: sync a follower directory from a leader
+    store, idempotently by LSN (``--once`` for a single catch-up; the
+    default loops like ``serve``).
 ``compact``
     Fold the WAL into a fresh snapshot generation.
 ``info``
-    Show generation, WAL size, and group count.
+    Show generation, LSNs, WAL size, and group count.
 
 Example drill::
 
@@ -33,7 +48,7 @@ import os
 import sys
 
 from repro.aggregate import DistinctCountAggregator
-from repro.store import SketchStore
+from repro.store import FollowerStore, SketchStore, SnapshotReader, WalShipper
 
 #: Exit status of a ``--crash`` ingest (distinguishable from real errors).
 CRASH_EXIT_CODE = 3
@@ -96,6 +111,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--top",
         type=int,
         help="show only the TOP largest groups (argpartition selection)",
+    )
+
+    read_estimate = commands.add_parser(
+        "read-estimate",
+        help="read-only estimates via a lock-free SnapshotReader",
+    )
+    _add_store_arguments(read_estimate)
+    read_estimate.add_argument("--group", help="single group to query (default: all)")
+    read_estimate.add_argument(
+        "--selective",
+        action="store_true",
+        help="single-group WAL-index replay instead of the full view",
+    )
+    read_estimate.add_argument("--top", type=int, help="show only the TOP largest groups")
+    read_estimate.add_argument("--expect", type=float, help="expected distinct count")
+    read_estimate.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="allowed relative error against --expect (default 0.1)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="long-running reader: refresh on an interval, report the horizon",
+    )
+    _add_store_arguments(serve)
+    serve.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between refreshes (default 1.0)",
+    )
+    serve.add_argument(
+        "--iterations",
+        type=int,
+        help="stop after N refreshes (default: run until interrupted)",
+    )
+    serve.add_argument("--top", type=int, help="also print the TOP largest groups")
+
+    replicate = commands.add_parser(
+        "replicate",
+        help="ship WAL records from a leader store into a follower directory",
+    )
+    replicate.add_argument("directory", help="leader store directory")
+    replicate.add_argument("follower", help="follower directory (created if absent)")
+    replicate.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between syncs (default 1.0)",
+    )
+    replicate.add_argument(
+        "--iterations",
+        type=int,
+        help="stop after N syncs (default: run until interrupted)",
+    )
+    replicate.add_argument("--once", action="store_true", help="one sync, then exit")
+    replicate.add_argument(
+        "--fsync", action="store_true", help="fsync the follower WAL per record batch"
     )
 
     compact = commands.add_parser("compact", help="fold the WAL into a new snapshot")
@@ -187,6 +262,87 @@ def _command_estimate_all(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_read_estimate(arguments: argparse.Namespace) -> int:
+    """Estimates through the concurrent-reader path (never mutates)."""
+    with SnapshotReader.open(arguments.directory) as reader:
+        if arguments.group is not None:
+            if arguments.selective:
+                estimate = reader.estimate_group(arguments.group)
+            else:
+                estimate = reader.estimate(arguments.group)
+            print(f"{arguments.group}\t{estimate:.1f}")
+            print(
+                f"generation {reader.generation}, durable LSN {reader.durable_lsn}"
+            )
+            if arguments.expect is not None:
+                error = abs(estimate / arguments.expect - 1.0)
+                status = "ok" if error <= arguments.tolerance else "FAIL"
+                print(
+                    f"expected {arguments.expect:.0f}, relative error "
+                    f"{error:.4f} (tolerance {arguments.tolerance}) -> {status}"
+                )
+                return 0 if status == "ok" else 1
+            return 0
+        if arguments.top is not None:
+            rows = reader.top(arguments.top)
+        else:
+            rows = list(reader.estimates().items())
+        for key, estimate in rows:
+            print(f"{DistinctCountAggregator.decode_key(key)}\t{estimate:.1f}")
+        print(f"generation {reader.generation}, durable LSN {reader.durable_lsn}")
+    return 0
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    """Poll-refresh loop of one query-serving reader process."""
+    import time
+
+    with SnapshotReader.open(arguments.directory) as reader:
+        iteration = 0
+        while True:
+            iteration += 1
+            result = reader.refresh()
+            print(
+                f"refresh {iteration}: generation={reader.generation} "
+                f"lsn={result.durable_lsn} groups={len(reader)} "
+                f"applied={result.records_applied}",
+                flush=True,
+            )
+            if arguments.top is not None:
+                for key, estimate in reader.top(arguments.top):
+                    print(
+                        f"  {DistinctCountAggregator.decode_key(key)}\t{estimate:.1f}",
+                        flush=True,
+                    )
+            if arguments.iterations is not None and iteration >= arguments.iterations:
+                return 0
+            time.sleep(arguments.interval)
+
+
+def _command_replicate(arguments: argparse.Namespace) -> int:
+    """Shipper loop: leader WAL records -> follower, idempotent by LSN."""
+    import time
+
+    shipper = WalShipper(arguments.directory)
+    with FollowerStore.open(arguments.follower, fsync=arguments.fsync) as follower:
+        iteration = 0
+        while True:
+            iteration += 1
+            result = shipper.sync(follower)
+            print(
+                f"sync {iteration}: lsn={result.follower_lsn} "
+                f"shipped={result.records_shipped} "
+                f"snapshot={'yes' if result.snapshot_installed else 'no'} "
+                f"groups={len(follower)}",
+                flush=True,
+            )
+            if arguments.once or (
+                arguments.iterations is not None and iteration >= arguments.iterations
+            ):
+                return 0
+            time.sleep(arguments.interval)
+
+
 def _command_compact(arguments: argparse.Namespace) -> int:
     with SketchStore.open(arguments.directory) as store:
         generation = store.compact()
@@ -203,6 +359,8 @@ def _command_info(arguments: argparse.Namespace) -> int:
         print(f"groups:      {len(store)}")
         print(f"wal records: {store.wal_records}")
         print(f"wal bytes:   {store.wal_bytes}")
+        print(f"base lsn:    {store.base_lsn}")
+        print(f"durable lsn: {store.durable_lsn}")
     return 0
 
 
@@ -212,6 +370,9 @@ def main(argv: "list[str] | None" = None) -> int:
         "ingest": _command_ingest,
         "query": _command_query,
         "estimate-all": _command_estimate_all,
+        "read-estimate": _command_read_estimate,
+        "serve": _command_serve,
+        "replicate": _command_replicate,
         "compact": _command_compact,
         "info": _command_info,
     }[arguments.command]

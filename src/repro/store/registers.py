@@ -87,7 +87,7 @@ class MemmapRegisters:
             print(reg.estimate())
     """
 
-    __slots__ = ("_array", "_kind", "_params", "_path")
+    __slots__ = ("_array", "_kind", "_params", "_path", "_readonly")
 
     def __init__(self, path, kind: str, t: int, d: int, p: int, mode: str) -> None:
         from repro.core.params import make_params
@@ -97,6 +97,7 @@ class MemmapRegisters:
         self._validate(kind, t, d, p)
         self._path = pathlib.Path(path)
         self._kind = kind
+        self._readonly = mode == "r"
         # HLL/PCSA reuse the ExaLogLog parameter object with t=d=0 purely
         # for (p, m) bookkeeping; folds never consult t/d for those kinds.
         self._params = make_params(t, d, p)
@@ -146,8 +147,14 @@ class MemmapRegisters:
                 )
 
     @classmethod
-    def open(cls, path) -> "MemmapRegisters":
-        """Map an existing register file (parameters come from its header)."""
+    def open(cls, path, readonly: bool = False) -> "MemmapRegisters":
+        """Map an existing register file (parameters come from its header).
+
+        ``readonly=True`` maps the pages read-only — the mode for a query
+        process estimating off a *foreign* file (another process's live
+        fold target): no write access is requested, mutating methods
+        raise, and the writer keeps sole ownership of the bytes.
+        """
         path = pathlib.Path(path)
         kind, t, d, p = _read_header(path)
         expected = HEADER_BYTES + (1 << p) * 8
@@ -156,7 +163,7 @@ class MemmapRegisters:
             raise SerializationError(
                 f"{path}: file is {actual} bytes, expected {expected} for p={p}"
             )
-        return cls(path, kind, t, d, p, mode="r+")
+        return cls(path, kind, t, d, p, mode="r" if readonly else "r+")
 
     @classmethod
     def open_or_create(
@@ -204,6 +211,11 @@ class MemmapRegisters:
         return self._array
 
     @property
+    def readonly(self) -> bool:
+        """True when mapped read-only (foreign file of another process)."""
+        return self._readonly
+
+    @property
     def is_empty(self) -> bool:
         return not np.any(self._array)
 
@@ -225,6 +237,8 @@ class MemmapRegisters:
         """
         from repro import backends
 
+        if self._readonly:
+            raise ValueError(f"{self._path} is mapped read-only")
         hashes = backends.as_hash_array(hashes)
         if len(hashes) == 0:
             return self
@@ -253,6 +267,8 @@ class MemmapRegisters:
 
     def merge_registers(self, batch: np.ndarray) -> "MemmapRegisters":
         """Merge a same-shape register array (e.g. another file's) in place."""
+        if self._readonly:
+            raise ValueError(f"{self._path} is mapped read-only")
         batch = np.asarray(batch, dtype=np.int64)
         if batch.shape != self._array.shape:
             raise ValueError(f"expected {self._array.shape} registers, got {batch.shape}")
@@ -296,26 +312,65 @@ class MemmapRegisters:
         bitmap estimator via :meth:`to_sketch`.
         """
         if self._kind in ("exaloglog", "hyperloglog") and self._params.register_bits <= 63:
-            from repro.core.params import make_params
-            from repro.estimation.batch import estimate_registers
+            from repro.estimation.batch import estimate_register_stacks
 
-            params = self._params
-            if self._kind == "hyperloglog":
-                params = make_params(0, 0, params.p)
-            matrix = np.asarray(self._array, dtype=np.int64).reshape(1, -1)
-            return float(estimate_registers(matrix, params)[0])
+            return float(
+                estimate_register_stacks([self._array], self._estimation_params())[0]
+            )
         return self.to_sketch().estimate()
+
+    def _estimation_params(self):
+        from repro.core.params import make_params
+
+        if self._kind == "hyperloglog":
+            return make_params(0, 0, self._params.p)
+        return self._params
+
+    @staticmethod
+    def estimate_many(registers: "Iterable[MemmapRegisters]") -> list[float]:
+        """Estimates for many mapped register files in batched solves.
+
+        The fleet-query path of a read-only process serving a directory
+        of register files: rows are grouped by (kind, parameters) and
+        each group resolves through one simultaneous Newton solve,
+        straight off the (possibly foreign, read-only) maps —
+        bit-identical to calling :meth:`estimate` one file at a time.
+        """
+        registers = list(registers)
+        results = [0.0] * len(registers)
+        stacks: dict[tuple, list] = {}
+        for position, mapped in enumerate(registers):
+            if (
+                mapped.kind in ("exaloglog", "hyperloglog")
+                and mapped.params.register_bits <= 63
+            ):
+                stacks.setdefault(
+                    (mapped.kind, mapped._estimation_params()), []
+                ).append(position)
+            else:
+                results[position] = mapped.estimate()
+        from repro.estimation.batch import estimate_register_stacks
+
+        for (_, params), positions in stacks.items():
+            estimates = estimate_register_stacks(
+                [registers[position]._array for position in positions], params
+            )
+            for position, value in zip(positions, estimates.tolist()):
+                results[position] = value
+        return results
 
     # -- durability -----------------------------------------------------------
 
     def flush(self) -> None:
-        """Write dirty pages back to the file."""
-        self._array.flush()
+        """Write dirty pages back to the file (no-op for read-only maps)."""
+        if not self._readonly:
+            self._array.flush()
 
     def close(self) -> None:
         """Flush and drop the mapping; further register access is invalid."""
         if self._array is not None:
-            self._array.flush()
+            if not self._readonly:
+                self._array.flush()
             # Release the mmap so the file can be unlinked on Windows and
             # so later opens see a consistent size.
             del self._array

@@ -1,0 +1,350 @@
+"""WAL-shipping replication: leader store → follower store.
+
+The paper's pitch — sketch state is tiny and mergeable — makes
+replication almost embarrassingly cheap: the leader's WAL already *is* a
+stream of self-delimiting, checksummed, LSN-stamped records, so a replica
+needs no protocol beyond "ship me the records I have not applied yet,
+plus a snapshot when I have fallen behind a compaction".
+
+Two halves:
+
+* :class:`WalShipper` reads a leader's store directory **without any
+  cooperation from the writer** (same read-only discipline as
+  :class:`~repro.store.reader.SnapshotReader`: never truncate, stop at
+  the durable horizon) and pushes what the follower is missing.
+* :class:`FollowerStore` owns a replica directory with the same layout as
+  a leader store (snapshot + LSN-stamped WAL), applies shipped records
+  **idempotently by LSN** — a record at or below ``applied_lsn`` is
+  dropped, so at-least-once shipping (retries, overlapping syncs,
+  restarts) never double-folds — and persists them before acknowledging,
+  so a crashed follower recovers to its exact pre-crash horizon.
+
+Catch-up guarantee (asserted by the invariant harness): once a follower
+has applied every record up to the leader's durable horizon, its register
+bytes are **bit-identical** to the leader's for every group — shipping
+replays the same inputs through the same fold in the same order, and the
+folds are deterministic. Because a follower directory is itself a valid
+store directory, a :class:`~repro.store.reader.SnapshotReader` (or a
+read-only :meth:`SketchStore.open`) can serve queries from the replica.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.aggregate import DistinctCountAggregator
+from repro.storage.serialization import (
+    IncompleteRecordError,
+    SerializationError,
+    read_lsn_record_from,
+    write_lsn_record,
+)
+from repro.store.sketchstore import (
+    _FILE_HEADER_BYTES,
+    _check_file_header,
+    TAG_WAL,
+    apply_wal_record,
+    latest_generation,
+    read_snapshot_header,
+    replay_wal,
+    snapshot_path,
+    wal_path,
+)
+
+
+@dataclass(frozen=True)
+class ShipResult:
+    """What one :meth:`WalShipper.sync` accomplished."""
+
+    snapshot_installed: bool
+    """True when the follower was (re)seeded from the leader's snapshot."""
+
+    records_shipped: int
+    """Records newly applied to the follower (duplicates not counted)."""
+
+    follower_lsn: int
+    """The follower's applied horizon after the sync."""
+
+
+class FollowerStore:
+    """A durable replica that applies shipped WAL records idempotently.
+
+    The directory mirrors the leader's layout, so the replica can be
+    opened by any store reader. ``open`` on an empty directory yields an
+    *uninitialised* follower (``initialized`` False) that only
+    :meth:`install_snapshot` can seed; an existing replica recovers its
+    state — and its ``applied_lsn`` — from its own snapshot + WAL, with
+    the usual writer-side torn-tail truncation (the follower owns these
+    files; a torn tail here is its *own* crashed append, not a live
+    writer's).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        raise TypeError("use FollowerStore.open(path, ...)")
+
+    @classmethod
+    def open(cls, path, fsync: bool = False) -> "FollowerStore":
+        follower = object.__new__(cls)
+        follower._directory = pathlib.Path(path)
+        follower._fsync = fsync
+        follower._wal_handle = None
+        follower._aggregator = None
+        follower._generation = None
+        follower._applied_lsn = 0
+        follower._directory.mkdir(parents=True, exist_ok=True)
+        generation = latest_generation(follower._directory)
+        if generation is not None:
+            from repro.store.sketchstore import SketchStore
+
+            # Reuse writer-mode recovery wholesale: replay + truncation +
+            # stale-generation sweep behave exactly like a leader's.
+            store = SketchStore.open(follower._directory)
+            follower._aggregator = store.aggregator
+            follower._generation = store.generation
+            follower._applied_lsn = store.durable_lsn
+            store.close()
+            follower._wal_handle = open(
+                wal_path(follower._directory, follower._generation), "ab"
+            )
+        return follower
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def directory(self) -> pathlib.Path:
+        return self._directory
+
+    @property
+    def initialized(self) -> bool:
+        """True once a snapshot has seeded the replica."""
+        return self._aggregator is not None
+
+    @property
+    def generation(self) -> "int | None":
+        """Leader generation of the installed snapshot (None until seeded)."""
+        return self._generation
+
+    @property
+    def applied_lsn(self) -> int:
+        """The replica's horizon: highest LSN durably applied."""
+        return self._applied_lsn
+
+    @property
+    def aggregator(self) -> DistinctCountAggregator:
+        if self._aggregator is None:
+            raise ValueError("follower is uninitialised (no snapshot installed)")
+        return self._aggregator
+
+    def __len__(self) -> int:
+        return len(self.aggregator)
+
+    def __contains__(self, group: Hashable) -> bool:
+        return group in self.aggregator
+
+    def groups(self) -> Iterator[bytes]:
+        return self.aggregator.groups()
+
+    def estimate(self, group: Hashable) -> float:
+        return self.aggregator.estimate(group)
+
+    def estimates(self) -> dict[bytes, float]:
+        return self.aggregator.estimates()
+
+    def top(self, count: int) -> list[tuple[bytes, float]]:
+        return self.aggregator.top(count)
+
+    # -- replication protocol --------------------------------------------------
+
+    def install_snapshot(self, data: bytes) -> None:
+        """Seed (or fast-forward) the replica from a leader snapshot blob.
+
+        Validates and parses first, then lands the snapshot atomically
+        and starts a fresh WAL — only states at a snapshot boundary are
+        ever visible on disk. Installing a snapshot at or behind the
+        current horizon is rejected (it would travel back in time).
+        """
+        from repro.store.sketchstore import _file_header, read_uvarint
+        from repro.storage.serialization import TAG_SNAPSHOT
+
+        offset = _check_file_header(data, TAG_SNAPSHOT, "snapshot blob")
+        generation, offset = read_uvarint(data, offset)
+        base_lsn, offset = read_uvarint(data, offset)
+        if self.initialized and base_lsn < self._applied_lsn:
+            raise ValueError(
+                f"snapshot base LSN {base_lsn} is behind the replica's "
+                f"applied horizon {self._applied_lsn}"
+            )
+        aggregator = DistinctCountAggregator.from_bytes(data[offset:])
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None
+        path = snapshot_path(self._directory, generation)
+        temporary = path.with_suffix(".tmp")
+        with open(temporary, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+        new_wal = wal_path(self._directory, generation)
+        with open(new_wal, "wb") as handle:
+            handle.write(_file_header(TAG_WAL))
+            handle.flush()
+            os.fsync(handle.fileno())
+        # Drop files of other generations (including our own previous one).
+        for entry in os.listdir(self._directory):
+            full = self._directory / entry
+            if full not in (path, new_wal) and full.suffix != ".tmp":
+                full.unlink()
+        self._aggregator = aggregator
+        self._generation = generation
+        self._applied_lsn = base_lsn
+        self._wal_handle = open(new_wal, "ab")
+
+    def apply_record(self, lsn: int, kind: int, key: bytes, payload: bytes) -> bool:
+        """Apply one shipped record; returns False for an LSN already applied.
+
+        Idempotent by LSN: re-shipping any prefix is harmless. A *gap*
+        (``lsn > applied_lsn + 1``) is an error — applying it would
+        silently diverge from the leader; the shipper must install a
+        snapshot instead.
+
+        Durability order matches the leader's: the record is framed
+        (byte-identically — the framing is deterministic) and written to
+        the replica's WAL before it folds into the in-memory state.
+        """
+        if self._aggregator is None:
+            raise ValueError("follower is uninitialised (no snapshot installed)")
+        if lsn <= self._applied_lsn:
+            return False
+        if lsn != self._applied_lsn + 1:
+            raise SerializationError(
+                f"record LSN {lsn} leaves a gap after applied horizon "
+                f"{self._applied_lsn}; a snapshot install is required"
+            )
+        buffer = bytearray()
+        write_lsn_record(buffer, lsn, kind, key, payload)
+        self._wal_handle.write(buffer)
+        self._wal_handle.flush()
+        if self._fsync:
+            os.fsync(self._wal_handle.fileno())
+        apply_wal_record(self._aggregator, kind, key, payload)
+        self._applied_lsn = lsn
+        return True
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._wal_handle is not None:
+            self._wal_handle.flush()
+            os.fsync(self._wal_handle.fileno())
+            self._wal_handle.close()
+            self._wal_handle = None
+
+    def __enter__(self) -> "FollowerStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = (
+            f"generation={self._generation}, applied_lsn={self._applied_lsn}"
+            if self.initialized
+            else "uninitialised"
+        )
+        return f"FollowerStore(directory={str(self._directory)!r}, {state})"
+
+
+class WalShipper:
+    """Streams a leader's durable WAL records into a follower.
+
+    Reads the leader directory with the reader discipline (read-only,
+    stop at the durable horizon, survive compactions by retrying) and
+    drives the follower's idempotent apply. One shipper instance may
+    :meth:`sync` repeatedly — each call ships exactly what accumulated
+    since the last one.
+    """
+
+    #: Retries against a concurrently compacting leader before giving up.
+    _SYNC_RETRIES = 16
+
+    def __init__(self, source_directory) -> None:
+        self._source = pathlib.Path(source_directory)
+        if not self._source.is_dir():
+            raise FileNotFoundError(f"leader directory {self._source} does not exist")
+        # Resume cursor: after the last complete record shipped, as
+        # (generation, wal_offset, lsn). Purely an optimisation — it only
+        # short-circuits the skip-scan when the follower provably covers
+        # it, so one shipper may still serve followers at any horizon.
+        self._cursor: "tuple[int, int, int] | None" = None
+
+    @property
+    def source(self) -> pathlib.Path:
+        return self._source
+
+    def sync(self, follower: FollowerStore) -> ShipResult:
+        """Bring ``follower`` up to the leader's current durable horizon."""
+        last_error: Exception | None = None
+        for _ in range(self._SYNC_RETRIES):
+            try:
+                return self._sync_once(follower)
+            except FileNotFoundError as error:
+                # Compaction swept a file between discovery and open;
+                # the next attempt sees the newer generation.
+                last_error = error
+        raise SerializationError(
+            f"{self._source}: could not ship a stable generation "
+            f"(kept racing a compacting leader): {last_error}"
+        ) from last_error
+
+    def _sync_once(self, follower: FollowerStore) -> ShipResult:
+        generation = latest_generation(self._source)
+        if generation is None:
+            raise SerializationError(
+                f"{self._source}: no snapshot found (uninitialised leader)"
+            )
+        snap_path = snapshot_path(self._source, generation)
+        _, base_lsn, _ = read_snapshot_header(snap_path)
+        snapshot_installed = False
+        if not follower.initialized or follower.applied_lsn < base_lsn:
+            # The follower predates this generation's snapshot (or does
+            # not exist yet): the records between its horizon and the
+            # snapshot base are gone from the log, so seed from the
+            # snapshot itself. Re-read the header afterwards — the bytes
+            # are only trusted once parsed by install_snapshot.
+            follower.install_snapshot(snap_path.read_bytes())
+            snapshot_installed = True
+        shipped = 0
+        with open(wal_path(self._source, generation), "rb") as handle:
+            header = handle.read(_FILE_HEADER_BYTES)
+            if len(header) == _FILE_HEADER_BYTES:
+                _check_file_header(header, TAG_WAL, handle.name)
+                if (
+                    self._cursor is not None
+                    and self._cursor[0] == generation
+                    and follower.applied_lsn >= self._cursor[2]
+                ):
+                    handle.seek(self._cursor[1])
+                while True:
+                    start = handle.tell()
+                    try:
+                        record = read_lsn_record_from(handle)
+                    except IncompleteRecordError:
+                        break  # the leader's in-flight append: not durable yet
+                    if record is None:
+                        break
+                    lsn, kind, key, payload = record
+                    if follower.apply_record(lsn, kind, key, payload):
+                        shipped += 1
+                    self._cursor = (generation, handle.tell(), lsn)
+        return ShipResult(
+            snapshot_installed=snapshot_installed,
+            records_shipped=shipped,
+            follower_lsn=follower.applied_lsn,
+        )
+
+    def __repr__(self) -> str:
+        return f"WalShipper(source={str(self._source)!r})"

@@ -9,25 +9,40 @@ carry *inputs* (hash batches), not state diffs.
 Directory layout (``gen`` is the zero-padded compaction generation)::
 
     store/
-      snapshot-<gen>.bin   header 0x42 | uvarint gen | aggregator blob
-      wal-<gen>.log        header 0x41 | checksummed records (see below)
+      snapshot-<gen>.bin   header 0x42 | uvarint gen | uvarint base_lsn
+                           | aggregator blob
+      wal-<gen>.log        header 0x41 | LSN-stamped checksummed records
+      walidx-<gen>.log     header 0x44 | group-level index (advisory,
+                           see :mod:`repro.store.walindex`)
 
-Each WAL record uses the shared framing of
-:func:`repro.storage.serialization.write_record` with two record kinds:
+Each WAL record uses the LSN framing of
+:func:`repro.storage.serialization.write_lsn_record` with two record kinds:
 
 * ``RECORD_HASHES`` (0x01) — payload is ``n * 8`` little-endian uint64
   hash values folded into the key's sketch, and
 * ``RECORD_SKETCH`` (0x02) — payload is a serialized sketch merged into
   the key's sketch (how retired sliding-window buckets persist).
 
+Every record carries a **log sequence number**: LSNs start at 1, increase
+by exactly 1 per record, and keep counting across compactions (a
+snapshot's ``base_lsn`` says how many records it has folded in). The LSN
+is what makes the store readable and replicable while it is being
+written: a :class:`~repro.store.reader.SnapshotReader` reports the LSN of
+the last record it could prove durable (the *durable horizon*), and a
+:class:`~repro.store.replicate.FollowerStore` deduplicates re-shipped
+records by LSN.
+
 Durability contract: a batch is durable once its WAL record is on disk
 (``fsync=True`` forces that before ``append`` returns; the default
 leaves it to the OS like most databases in ``fsync=off`` mode).
 :meth:`SketchStore.open` replays the WAL tail on top of the newest
-snapshot; a torn final record (crash mid-write) is truncated away, any
-other corruption raises :class:`~repro.storage.serialization.SerializationError`
-rather than loading garbage. :meth:`compact` folds the WAL into a fresh
-snapshot (written atomically via rename) and starts an empty log.
+snapshot; a torn final record (crash mid-write) is truncated away —
+**unless** the store is opened with ``read_only=True``, which must never
+mutate a live writer's files and instead just stops at the durable
+horizon. Any other corruption raises
+:class:`~repro.storage.serialization.SerializationError` rather than
+loading garbage. :meth:`compact` folds the WAL into a fresh snapshot
+(written atomically via rename) and starts an empty log.
 """
 
 from __future__ import annotations
@@ -35,6 +50,7 @@ from __future__ import annotations
 import os
 import pathlib
 import re
+from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator
 
 import numpy as np
@@ -49,9 +65,9 @@ from repro.storage.serialization import (
     TAG_SNAPSHOT,
     TAG_SPARSE_EXALOGLOG,
     TAG_WAL,
-    read_record_from,
+    read_lsn_record_from,
     read_uvarint,
-    write_record,
+    write_lsn_record,
     write_uvarint,
 )
 
@@ -61,6 +77,7 @@ RECORD_SKETCH = 0x02
 
 _SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{8})\.bin$")
 _WAL_PATTERN = re.compile(r"^wal-(\d{8})\.log$")
+_WALIDX_PATTERN = re.compile(r"^walidx-(\d{8})\.log$")
 
 _FILE_HEADER_BYTES = 4
 
@@ -75,6 +92,50 @@ def _check_file_header(data: bytes, tag: int, path) -> int:
     if data[:2] != MAGIC or data[2] != FORMAT_VERSION or data[3] != tag:
         raise SerializationError(f"{path}: bad file header (expected tag {tag:#x})")
     return _FILE_HEADER_BYTES
+
+
+# -- directory layout helpers (shared with reader / replication) ---------------
+
+
+def snapshot_path(directory, generation: int) -> pathlib.Path:
+    return pathlib.Path(directory) / f"snapshot-{generation:08d}.bin"
+
+
+def wal_path(directory, generation: int) -> pathlib.Path:
+    return pathlib.Path(directory) / f"wal-{generation:08d}.log"
+
+
+def wal_index_path(directory, generation: int) -> pathlib.Path:
+    return pathlib.Path(directory) / f"walidx-{generation:08d}.log"
+
+
+def latest_generation(directory) -> "int | None":
+    """Newest snapshot generation in ``directory`` (None when uninitialised)."""
+    try:
+        entries = os.listdir(directory)
+    except FileNotFoundError:
+        return None
+    generations = [
+        int(match.group(1))
+        for entry in entries
+        if (match := _SNAPSHOT_PATTERN.match(entry))
+    ]
+    return max(generations) if generations else None
+
+
+def read_snapshot_header(path) -> tuple[int, int, int]:
+    """Peek a snapshot's ``(generation, base_lsn, payload_offset)``.
+
+    Reads only the leading bytes — the replication shipper uses this to
+    decide whether a follower needs the snapshot at all before paying for
+    the full aggregator blob.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(_FILE_HEADER_BYTES + 20)  # two uvarints at most
+    offset = _check_file_header(head, TAG_SNAPSHOT, path)
+    generation, offset = read_uvarint(head, offset)
+    base_lsn, offset = read_uvarint(head, offset)
+    return generation, base_lsn, offset
 
 
 def sketch_to_blob(sketch) -> bytes:
@@ -97,35 +158,76 @@ def sketch_from_blob(blob: bytes):
     raise SerializationError(f"sketch blob tag {tag:#x} is not mergeable into a store")
 
 
-def replay_wal(path, aggregator: DistinctCountAggregator) -> tuple[int, int]:
+@dataclass
+class WalReplay:
+    """Result of replaying one WAL file."""
+
+    records: int = 0
+    """Complete records applied."""
+
+    durable_bytes: int = _FILE_HEADER_BYTES
+    """Offset of the first byte after the last complete record."""
+
+    last_lsn: int = 0
+    """LSN of the last applied record (the caller's ``base_lsn`` if none)."""
+
+    entries: list = field(default_factory=list)
+    """``(key, lsn, offset, length)`` of every applied record, in order —
+    exactly what :func:`repro.store.walindex.rebuild_wal_index` wants."""
+
+
+def replay_wal(
+    path, aggregator: DistinctCountAggregator, base_lsn: int = 0
+) -> WalReplay:
     """Replay a WAL file into ``aggregator``.
 
-    Returns ``(records_applied, durable_bytes)`` where ``durable_bytes``
-    is the offset of the last complete record — a torn tail after it is
-    ignored (and the caller truncates it away before appending more).
-    Corruption inside the durable prefix raises
+    ``base_lsn`` is the LSN the underlying snapshot has already folded in;
+    the file's records must continue it gaplessly (``base_lsn + 1,
+    base_lsn + 2, ...``) — any other sequence means the snapshot and WAL
+    belong to different histories and raises :class:`SerializationError`.
+    A torn tail after the last complete record is ignored (the *writer*
+    truncates it before appending more; a read-only open leaves it
+    alone). Corruption inside the durable prefix raises
     :class:`SerializationError`.
     """
-    applied = 0
+    replay = WalReplay(last_lsn=base_lsn)
     with open(path, "rb") as handle:
         # Streamed record by record, so replay memory stays O(one record)
         # even for a WAL that was never compacted.
         _check_file_header(handle.read(_FILE_HEADER_BYTES), TAG_WAL, path)
-        durable = handle.tell()
+        replay.durable_bytes = handle.tell()
         while True:
+            start = handle.tell()
             try:
-                record = read_record_from(handle)
+                record = read_lsn_record_from(handle)
             except IncompleteRecordError:
                 break  # torn tail write: durable prefix ends at the last full record
             if record is None:
                 break
-            _apply_record(aggregator, *record)
-            applied += 1
-            durable = handle.tell()
-    return applied, durable
+            lsn, kind, key, payload = record
+            if lsn != replay.last_lsn + 1:
+                raise SerializationError(
+                    f"{path}: record at offset {start} has LSN {lsn}, "
+                    f"expected {replay.last_lsn + 1}"
+                )
+            apply_wal_record(aggregator, kind, key, payload)
+            replay.records += 1
+            replay.last_lsn = lsn
+            replay.durable_bytes = handle.tell()
+            replay.entries.append((key, lsn, start, replay.durable_bytes - start))
+    return replay
 
 
-def _apply_record(aggregator: DistinctCountAggregator, kind: int, key: bytes, payload: bytes) -> None:
+def apply_wal_record(
+    aggregator: DistinctCountAggregator, kind: int, key: bytes, payload: bytes
+) -> None:
+    """Apply one decoded WAL record to an aggregator.
+
+    The single state-transition function shared by writer recovery, the
+    concurrent reader's tail replay and follower replication — all four
+    paths fold the same bytes through the same code, which is what the
+    bit-identity guarantees rest on.
+    """
     if kind == RECORD_HASHES:
         if len(payload) % 8:
             raise SerializationError(
@@ -178,6 +280,12 @@ class SketchStore:
     past the threshold, the store compacts synchronously (snapshot write
     + fresh log), so recovery time stays proportional to the threshold,
     not to the total ingest history.
+
+    ``read_only=True`` opens a *foreign* store without mutating anything:
+    no directory creation, no torn-tail truncation, no stale-generation
+    sweep, no index rebuild — safe against a live writer's files. The
+    loaded state is the durable prefix at open time; for an incrementally
+    refreshing view use :class:`repro.store.reader.SnapshotReader`.
     """
 
     def __init__(self, *args, **kwargs) -> None:
@@ -198,40 +306,55 @@ class SketchStore:
         seed: int | None = None,
         fsync: bool = False,
         auto_compact_bytes: int | None = None,
+        read_only: bool = False,
     ) -> "SketchStore":
         """Open a store directory, creating it (plus generation 0) if absent.
 
         Opening an existing store recovers it: the newest snapshot loads,
         the matching WAL replays up to its last complete record, and a
         torn tail (if the previous process died mid-write) is truncated.
-
-        Configuration parameters left at ``None`` default to ELL(2, 20)
-        at p=8 when creating and to the persisted configuration when
-        opening; explicitly passed values must match an existing store.
+        With ``read_only=True`` nothing on disk is touched — the torn
+        tail stays (it may be a live writer's in-flight append), and
+        mutating methods raise.
         """
         store = cls._new()
         store._directory = pathlib.Path(path)
         store._fsync = fsync
         store._auto_compact_bytes = auto_compact_bytes
+        store._read_only = read_only
         store._wal_handle = None
-        store._directory.mkdir(parents=True, exist_ok=True)
+        store._index_writer = None
+        if not read_only:
+            store._directory.mkdir(parents=True, exist_ok=True)
+        elif not store._directory.is_dir():
+            raise FileNotFoundError(
+                f"read-only open of missing store directory {store._directory}"
+            )
 
         requested = (t, d, p, sparse, seed)
-        generation = store._latest_generation()
+        generation = latest_generation(store._directory)
         if generation is None:
+            if read_only:
+                raise SerializationError(
+                    f"{store._directory}: no snapshot found (uninitialised store)"
+                )
             defaults = (2, 20, 8, True, 0)
             config = tuple(
                 value if value is not None else default
                 for value, default in zip(requested, defaults)
             )
             store._generation = 0
+            store._base_lsn = 0
+            store._durable_lsn = 0
             store._aggregator = DistinctCountAggregator(*config)
             store._write_snapshot(0)
             store._wal_records = 0
             store._open_wal(truncate_to=None)
+            store._open_index(rebuild_from=[])
         else:
             store._generation = generation
-            store._aggregator = store._load_snapshot(generation)
+            store._aggregator, store._base_lsn = store._load_snapshot(generation)
+            store._durable_lsn = store._base_lsn
             persisted = store._aggregator._config
             mismatched = [
                 (value, on_disk)
@@ -243,36 +366,39 @@ class SketchStore:
                     f"store at {store._directory} has configuration "
                     f"(t, d, p, sparse, seed)={persisted}, requested {requested}"
                 )
-            wal_path = store._wal_path(generation)
-            if wal_path.exists():
-                store._wal_records, durable = replay_wal(wal_path, store._aggregator)
-                store._open_wal(truncate_to=durable)
+            path_ = wal_path(store._directory, generation)
+            if path_.exists():
+                replay = replay_wal(path_, store._aggregator, store._base_lsn)
+                store._wal_records = replay.records
+                store._durable_lsn = replay.last_lsn
+                if not read_only:
+                    store._open_wal(truncate_to=replay.durable_bytes)
+                    store._open_index(rebuild_from=replay.entries)
             else:
                 store._wal_records = 0
-                store._open_wal(truncate_to=None)
-            store._sweep_stale(generation)
+                if not read_only:
+                    store._open_wal(truncate_to=None)
+                    store._open_index(rebuild_from=[])
+            if not read_only:
+                store._sweep_stale(generation)
         return store
 
     # -- paths ----------------------------------------------------------------
 
     def _snapshot_path(self, generation: int) -> pathlib.Path:
-        return self._directory / f"snapshot-{generation:08d}.bin"
+        return snapshot_path(self._directory, generation)
 
     def _wal_path(self, generation: int) -> pathlib.Path:
-        return self._directory / f"wal-{generation:08d}.log"
-
-    def _latest_generation(self) -> int | None:
-        generations = [
-            int(match.group(1))
-            for entry in os.listdir(self._directory)
-            if (match := _SNAPSHOT_PATTERN.match(entry))
-        ]
-        return max(generations) if generations else None
+        return wal_path(self._directory, generation)
 
     def _sweep_stale(self, generation: int) -> None:
         """Delete files a crashed compaction left behind (older generations)."""
         for entry in os.listdir(self._directory):
-            match = _SNAPSHOT_PATTERN.match(entry) or _WAL_PATTERN.match(entry)
+            match = (
+                _SNAPSHOT_PATTERN.match(entry)
+                or _WAL_PATTERN.match(entry)
+                or _WALIDX_PATTERN.match(entry)
+            )
             if match and int(match.group(1)) < generation:
                 (self._directory / entry).unlink()
 
@@ -281,6 +407,7 @@ class SketchStore:
     def _write_snapshot(self, generation: int) -> None:
         buffer = bytearray(_file_header(TAG_SNAPSHOT))
         write_uvarint(buffer, generation)
+        write_uvarint(buffer, self._durable_lsn)
         buffer.extend(self._aggregator.to_bytes())
         path = self._snapshot_path(generation)
         temporary = path.with_suffix(".tmp")
@@ -290,8 +417,9 @@ class SketchStore:
             os.fsync(handle.fileno())
         os.replace(temporary, path)
         self._sync_directory()
+        self._base_lsn = self._durable_lsn
 
-    def _load_snapshot(self, generation: int) -> DistinctCountAggregator:
+    def _load_snapshot(self, generation: int) -> tuple[DistinctCountAggregator, int]:
         path = self._snapshot_path(generation)
         data = path.read_bytes()
         offset = _check_file_header(data, TAG_SNAPSHOT, path)
@@ -300,7 +428,8 @@ class SketchStore:
             raise SerializationError(
                 f"{path}: names generation {generation} but holds {stored_generation}"
             )
-        return DistinctCountAggregator.from_bytes(data[offset:])
+        base_lsn, offset = read_uvarint(data, offset)
+        return DistinctCountAggregator.from_bytes(data[offset:]), base_lsn
 
     def _open_wal(self, truncate_to: int | None) -> None:
         path = self._wal_path(self._generation)
@@ -315,6 +444,13 @@ class SketchStore:
                 handle.truncate(truncate_to)
         self._wal_handle = open(path, "ab")
 
+    def _open_index(self, rebuild_from: list) -> None:
+        from repro.store.walindex import WalIndexWriter, rebuild_wal_index
+
+        path = wal_index_path(self._directory, self._generation)
+        rebuild_wal_index(path, rebuild_from)
+        self._index_writer = WalIndexWriter(path)
+
     def _sync_directory(self) -> None:
         if os.name == "posix":
             fd = os.open(self._directory, os.O_RDONLY)
@@ -324,15 +460,25 @@ class SketchStore:
                 os.close(fd)
 
     def _append_record(self, kind: int, key: bytes, payload: bytes) -> None:
+        if self._read_only:
+            raise ValueError("store is read-only")
         if self._wal_handle is None:
             raise ValueError("store is closed")
+        lsn = self._durable_lsn + 1
         buffer = bytearray()
-        write_record(buffer, kind, key, payload)
+        write_lsn_record(buffer, lsn, kind, key, payload)
+        offset = self._wal_handle.tell()
         self._wal_handle.write(buffer)
         self._wal_handle.flush()
         if self._fsync:
             os.fsync(self._wal_handle.fileno())
+        self._durable_lsn = lsn
         self._wal_records += 1
+        # The index entry goes *after* the WAL bytes are out: the index may
+        # lag the log (readers scan the unindexed tail) but must never
+        # point past it.
+        if self._index_writer is not None:
+            self._index_writer.append(key, lsn, offset, len(buffer))
 
     def _maybe_auto_compact(self) -> None:
         """Compact when the WAL outgrew its bound.
@@ -406,6 +552,20 @@ class SketchStore:
         return self._generation
 
     @property
+    def read_only(self) -> bool:
+        return self._read_only
+
+    @property
+    def base_lsn(self) -> int:
+        """LSN already folded into the current snapshot."""
+        return self._base_lsn
+
+    @property
+    def durable_lsn(self) -> int:
+        """LSN of the last record known durable (the durable horizon)."""
+        return self._durable_lsn
+
+    @property
     def wal_records(self) -> int:
         """Records in the current WAL (replayed + appended this session)."""
         return self._wal_records
@@ -441,14 +601,19 @@ class SketchStore:
         deleted — :meth:`open` always finds the newest intact snapshot
         and ignores older leftovers.
         """
+        if self._read_only:
+            raise ValueError("store is read-only")
         if self._wal_handle is None:
             raise ValueError("store is closed")
         self._wal_handle.close()
+        if self._index_writer is not None:
+            self._index_writer.close()
         self._generation += 1
         self._write_snapshot(self._generation)
         self._wal_records = 0
         self._wal_handle = None
         self._open_wal(truncate_to=None)
+        self._open_index(rebuild_from=[])
         self._sweep_stale(self._generation)
         return self._generation
 
@@ -459,6 +624,9 @@ class SketchStore:
             os.fsync(self._wal_handle.fileno())
             self._wal_handle.close()
             self._wal_handle = None
+        if self._index_writer is not None:
+            self._index_writer.close()
+            self._index_writer = None
 
     def __enter__(self) -> "SketchStore":
         return self
@@ -470,5 +638,5 @@ class SketchStore:
         return (
             f"SketchStore(directory={str(self._directory)!r}, "
             f"generation={self._generation}, groups={len(self._aggregator)}, "
-            f"wal_records={self._wal_records})"
+            f"wal_records={self._wal_records}, durable_lsn={self._durable_lsn})"
         )

@@ -40,8 +40,11 @@ from repro.storage.serialization import (
     IncompleteRecordError,
     SerializationError,
     TAG_SPILL,
+    TAG_SPILL_META,
     read_record_from,
+    read_uvarint,
     write_record,
+    write_uvarint,
 )
 from repro.store.sketchstore import (
     RECORD_HASHES,
@@ -55,6 +58,45 @@ from repro.store.sketchstore import (
 DEFAULT_PARTITIONS = 64
 
 _SPILL_SUFFIX = ".spill"
+_META_NAME = "spill.meta"
+
+
+def write_spill_meta(directory, config, partitions: int) -> None:
+    """Persist a spill directory's configuration sidecar (atomic rename).
+
+    The sidecar is what lets a *different* process — a query-serving
+    reader that never wrote a byte of the spill — reconstruct partition
+    aggregators with the exact sketch parameters the writers used (see
+    :meth:`SpilledGroupBy.attach`).
+    """
+    t, d, p, sparse, seed = config
+    buffer = bytearray(_file_header(TAG_SPILL_META))
+    buffer.extend((t, d, p, 1 if sparse else 0))
+    write_uvarint(buffer, seed)
+    write_uvarint(buffer, partitions)
+    directory = pathlib.Path(directory)
+    path = directory / _META_NAME
+    temporary = path.with_suffix(".tmp")
+    temporary.write_bytes(bytes(buffer))
+    os.replace(temporary, path)
+
+
+def read_spill_meta(directory) -> tuple[tuple[int, int, int, bool, int], int]:
+    """Read a spill directory's ``(config, partitions)`` sidecar."""
+    path = pathlib.Path(directory) / _META_NAME
+    data = path.read_bytes()
+    offset = _check_file_header(data, TAG_SPILL_META, path)
+    if len(data) < offset + 4:
+        raise SerializationError(f"{path}: truncated spill configuration")
+    t, d, p, sparse_flag = data[offset : offset + 4]
+    offset += 4
+    seed, offset = read_uvarint(data, offset)
+    partitions, offset = read_uvarint(data, offset)
+    if offset != len(data):
+        raise SerializationError(
+            f"{path}: {len(data) - offset} trailing bytes after spill configuration"
+        )
+    return (t, d, p, bool(sparse_flag), seed), partitions
 
 
 def _partition_of(key: bytes, partitions: int) -> int:
@@ -151,12 +193,19 @@ def spill_files(directory) -> dict[int, list[pathlib.Path]]:
     return grouped
 
 
-def read_spill_file(path) -> Iterator[tuple[bytes, np.ndarray]]:
+def read_spill_file(
+    path, tolerate_torn_tail: bool = False
+) -> Iterator[tuple[bytes, np.ndarray]]:
     """Yield the ``(key, hashes)`` records of one spill file.
 
-    Spill files are transient (written and read inside one aggregation),
-    so unlike the WAL a torn tail is not survivable — any incomplete or
-    corrupt record raises :class:`SerializationError`.
+    For the *writing* aggregation, spill files are transient (written and
+    read inside one run), so a torn tail is not survivable — any
+    incomplete record raises :class:`SerializationError`. A concurrent
+    read-only query process (:meth:`SpilledGroupBy.attach`) instead sets
+    ``tolerate_torn_tail=True``: iteration stops cleanly at the last
+    complete record, the WAL discipline — the writer's in-flight append
+    is simply not part of that query's view. CRC failures on *complete*
+    records stay fatal either way.
     """
     path = pathlib.Path(path)
     with open(path, "rb") as handle:
@@ -167,6 +216,8 @@ def read_spill_file(path) -> Iterator[tuple[bytes, np.ndarray]]:
             try:
                 record = read_record_from(handle)
             except IncompleteRecordError as error:
+                if tolerate_torn_tail:
+                    return
                 raise SerializationError(f"{path}: truncated spill record") from error
             if record is None:
                 return
@@ -212,6 +263,41 @@ class SpilledGroupBy:
         # this instance holds configuration and never accumulates groups.
         self._scatter = DistinctCountAggregator(t, d, p, sparse, seed)
         self._writer = SpillWriter(self._directory, partitions)
+        # Persist (or validate against) the configuration sidecar so a
+        # reader process can attach to these files later.
+        try:
+            on_disk, disk_partitions = read_spill_meta(self._directory)
+        except FileNotFoundError:
+            write_spill_meta(self._directory, self._scatter._config, partitions)
+        else:
+            if on_disk != self._scatter._config or disk_partitions != partitions:
+                raise ValueError(
+                    f"spill directory {self._directory} was written with "
+                    f"configuration {on_disk} and {disk_partitions} partitions, "
+                    f"requested {self._scatter._config} and {partitions}"
+                )
+
+    @classmethod
+    def attach(cls, directory) -> "SpilledGroupBy":
+        """Open an existing spill directory read-only (a query process).
+
+        Configuration and partition fan-out come from the ``spill.meta``
+        sidecar the writing process persisted; no file is created or
+        appended — ingest methods raise, while every query path
+        (:meth:`estimates`, :meth:`top`, :meth:`estimate`,
+        :meth:`partition_aggregators`) works exactly as for the writer,
+        concurrently with writers that are still appending (spill records
+        are framed like WAL records, so partially flushed tails are
+        detected, not misread).
+        """
+        directory = pathlib.Path(directory)
+        config, partitions = read_spill_meta(directory)
+        groupby = object.__new__(cls)
+        groupby._directory = directory
+        groupby._partitions = partitions
+        groupby._scatter = DistinctCountAggregator(*config)
+        groupby._writer = None
+        return groupby
 
     @property
     def directory(self) -> pathlib.Path:
@@ -227,7 +313,20 @@ class SpilledGroupBy:
 
     @property
     def records_spilled(self) -> int:
-        return self._writer.records_written
+        return self._writer.records_written if self._writer is not None else 0
+
+    @property
+    def attached(self) -> bool:
+        """True for a read-only view opened with :meth:`attach`."""
+        return self._writer is None
+
+    def _require_writer(self) -> SpillWriter:
+        if self._writer is None:
+            raise ValueError(
+                "spill directory was attached read-only; ingest happens in "
+                "the writing process"
+            )
+        return self._writer
 
     # -- ingest ---------------------------------------------------------------
 
@@ -255,17 +354,18 @@ class SpilledGroupBy:
         The hand-off point of ``DistinctCountAggregator.add_batch(spill=...)``;
         ``workers`` fans the writes out across a process pool.
         """
+        writer = self._require_writer()
         if workers is not None and workers > 1:
             from repro.parallel import parallel_spill_write
 
             segments = list(segments)
             if len(segments) > 1:
-                self._writer.flush()
-                self._writer._records += parallel_spill_write(
+                writer.flush()
+                writer._records += parallel_spill_write(
                     segments, self._directory, self._partitions, workers
                 )
                 return
-        self._writer.write_segments(segments)
+        writer.write_segments(segments)
 
     def add_pairs(self, pairs: Iterable[tuple[Hashable, Any]]) -> "SpilledGroupBy":
         """Spill an iterable of ``(group, item)`` pairs in bounded chunks."""
@@ -284,10 +384,12 @@ class SpilledGroupBy:
     def partition_aggregators(self) -> Iterator[DistinctCountAggregator]:
         """Yield one exact partial aggregator per non-empty partition.
 
-        Flushes pending writes first; each partial holds only its
-        partition's groups, which is the memory bound of the whole plan.
+        Flushes pending writes first (when this process is the writer);
+        each partial holds only its partition's groups, which is the
+        memory bound of the whole plan.
         """
-        self._writer.flush()
+        if self._writer is not None:
+            self._writer.flush()
         for partition in sorted(spill_files(self._directory)):
             yield self._partition_aggregator(partition)
 
@@ -295,7 +397,11 @@ class SpilledGroupBy:
         files = spill_files(self._directory).get(partition, [])
         aggregator = DistinctCountAggregator(*self.config)
         for path in files:
-            for key, hashes in read_spill_file(path):
+            # Attached readers run concurrently with writers, so a torn
+            # tail is "not yet durable", not corruption.
+            for key, hashes in read_spill_file(
+                path, tolerate_torn_tail=self._writer is None
+            ):
                 sketch = aggregator._groups.get(key)
                 if sketch is None:
                     sketch = aggregator._new_sketch()
@@ -338,7 +444,8 @@ class SpilledGroupBy:
     def estimate(self, group: Hashable) -> float:
         """One group's estimate (reads only that group's partition)."""
         key = DistinctCountAggregator._group_key(group)
-        self._writer.flush()
+        if self._writer is not None:
+            self._writer.flush()
         partial = self._partition_aggregator(_partition_of(key, self._partitions))
         sketch = partial._groups.get(key)
         return sketch.estimate() if sketch is not None else 0.0
@@ -362,7 +469,8 @@ class SpilledGroupBy:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        self._writer.close()
+        if self._writer is not None:
+            self._writer.close()
 
     def cleanup(self) -> None:
         """Close and delete all spill files (the aggregation is consumed)."""
@@ -370,6 +478,9 @@ class SpilledGroupBy:
         for files in spill_files(self._directory).values():
             for path in files:
                 path.unlink()
+        meta = self._directory / _META_NAME
+        if meta.exists():
+            meta.unlink()
 
     def __enter__(self) -> "SpilledGroupBy":
         return self

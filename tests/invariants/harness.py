@@ -1,0 +1,295 @@
+"""Randomized cross-layer invariant harness: one generator, every ingest path.
+
+The library's core promise — repeated by every PR since the bulk backend
+landed — is that all ingest and query paths are *bit-identical*: scalar
+``add_hash`` loops, vectorised ``add_hashes``, process-pool parallel
+folds, mmap-backed registers, WAL-replayed stores, WAL-shipped follower
+replicas, and scalar vs simultaneous batched estimation all produce
+exactly the same register bytes and exactly the same floats. Before this
+harness each PR asserted its own corner with bespoke fixtures; this
+module generates one seeded scenario — parameters, per-group hash
+streams, a merge/compaction/window schedule — and hands it to *every*
+layer, so a new path joins the identity matrix by adding one builder
+instead of a new test file.
+
+Scenario generation is deterministic per seed (``numpy.random.PCG64``),
+so a CI failure reproduces locally with just the seed from the test id.
+Scale the number of seeds with ``INVARIANT_ROUNDS`` (default keeps the
+quick-mode budget of the CI matrix).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aggregate import DistinctCountAggregator
+
+#: Configurations covering the structural regimes: sparse/dense start,
+#: the ML-optimal ELL(2, 20), small-register ELL(1, 9), a batched-solve
+#: fast-path precision (m >= 1024), and non-zero seeds.
+CONFIG_POOL = [
+    (2, 20, 8, True, 0),
+    (2, 20, 8, False, 0),
+    (1, 9, 6, True, 3),
+    (2, 16, 7, False, 1),
+    (2, 20, 10, False, 0),
+    (2, 24, 6, True, 0),
+]
+
+#: ``(kind, op, group)`` ops a schedule is built from.
+OP_HASHES = "hashes"
+OP_SKETCH = "sketch"
+OP_COMPACT = "compact"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One schedule step: a keyed hash batch, a sketch merge, or a compact."""
+
+    op: str
+    group: str = ""
+    hashes: "np.ndarray | None" = None  # OP_HASHES: the batch; OP_SKETCH: the
+    # hashes the merged sketch was built from (built fresh per builder so no
+    # state leaks between paths)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible cross-layer workload."""
+
+    seed: int
+    config: tuple  # (t, d, p, sparse, seed)
+    steps: tuple
+
+    @property
+    def groups(self) -> list[str]:
+        return sorted({step.group for step in self.steps if step.group})
+
+    def hash_steps(self) -> "list[Step]":
+        return [step for step in self.steps if step.op == OP_HASHES]
+
+    def __repr__(self) -> str:  # short ids in pytest parametrisation
+        return f"Scenario(seed={self.seed}, config={self.config}, steps={len(self.steps)})"
+
+
+def rounds(default: int = 5) -> list[int]:
+    """Seeds to run, scaled by the ``INVARIANT_ROUNDS`` env variable."""
+    count = int(os.environ.get("INVARIANT_ROUNDS", default))
+    return list(range(1, count + 1))
+
+
+def random_scenario(seed: int, with_compaction: bool = True) -> Scenario:
+    """Generate a seeded scenario: config, item streams, schedule."""
+    rng = np.random.Generator(np.random.PCG64(seed))
+    config = CONFIG_POOL[int(rng.integers(len(CONFIG_POOL)))]
+    group_count = int(rng.integers(2, 6))
+    groups = [f"g{index}" for index in range(group_count)]
+    steps: list[Step] = []
+    for _ in range(int(rng.integers(4, 12))):
+        roll = rng.random()
+        group = groups[int(rng.integers(group_count))]
+        if roll < 0.70:
+            # Hash batch: sizes span sparse-mode, densification-crossing
+            # and comfortably-dense regimes.
+            size = int(rng.integers(1, int(rng.choice([20, 200, 2000]))))
+            hashes = rng.integers(0, 1 << 64, size=size, dtype=np.uint64)
+            steps.append(Step(OP_HASHES, group, hashes))
+        elif roll < 0.85:
+            # Sketch merge (the windowed-bucket-retirement record kind).
+            size = int(rng.integers(1, 300))
+            hashes = rng.integers(0, 1 << 64, size=size, dtype=np.uint64)
+            steps.append(Step(OP_SKETCH, group, hashes))
+        elif with_compaction:
+            steps.append(Step(OP_COMPACT))
+    if not any(step.op == OP_HASHES for step in steps):
+        hashes = rng.integers(0, 1 << 64, size=50, dtype=np.uint64)
+        steps.append(Step(OP_HASHES, groups[0], hashes))
+    return Scenario(seed=seed, config=config, steps=tuple(steps))
+
+
+def _merge_sketch(scenario: Scenario, step: Step):
+    """The sketch a ``OP_SKETCH`` step merges (deterministic per step)."""
+    t, d, p, sparse, _ = scenario.config
+    from repro.core.exaloglog import ExaLogLog
+    from repro.core.sparse import SparseExaLogLog
+
+    sketch = SparseExaLogLog(t, d, p) if len(step.hashes) < 30 else ExaLogLog(t, d, p)
+    sketch.add_hashes(step.hashes)
+    return sketch
+
+
+def _apply_sketch_step(aggregator: DistinctCountAggregator, scenario, step) -> None:
+    from repro.store.sketchstore import _merge_sketch_into
+
+    key = DistinctCountAggregator._group_key(step.group)
+    _merge_sketch_into(aggregator, key, _merge_sketch(scenario, step))
+
+
+# -- builders: one per layer ---------------------------------------------------
+
+
+def build_scalar(scenario: Scenario) -> DistinctCountAggregator:
+    """Reference state: per-item ``add_hash`` loops, scalar merges."""
+    aggregator = DistinctCountAggregator(*scenario.config)
+    for step in scenario.steps:
+        if step.op == OP_HASHES:
+            key = DistinctCountAggregator._group_key(step.group)
+            sketch = aggregator._groups.get(key)
+            if sketch is None:
+                sketch = aggregator._new_sketch()
+                aggregator._groups[key] = sketch
+            for value in step.hashes.tolist():
+                sketch.add_hash(value)
+        elif step.op == OP_SKETCH:
+            _apply_sketch_step(aggregator, scenario, step)
+    return aggregator
+
+
+def build_bulk(scenario: Scenario) -> DistinctCountAggregator:
+    """Vectorised path: per-batch ``add_hashes`` folds."""
+    aggregator = DistinctCountAggregator(*scenario.config)
+    for step in scenario.steps:
+        if step.op == OP_HASHES:
+            key = DistinctCountAggregator._group_key(step.group)
+            sketch = aggregator._groups.get(key)
+            if sketch is None:
+                sketch = aggregator._new_sketch()
+                aggregator._groups[key] = sketch
+            sketch.add_hashes(step.hashes)
+        elif step.op == OP_SKETCH:
+            _apply_sketch_step(aggregator, scenario, step)
+    return aggregator
+
+
+def build_parallel(scenario: Scenario, workers: int = 2) -> DistinctCountAggregator:
+    """Process-pool path: each group's full stream folds with ``workers``.
+
+    Insertions are commutative and idempotent and the Algorithm 5 merge
+    is exact, so rebatching per group cannot change the result — which
+    is exactly the invariant being asserted.
+    """
+    aggregator = DistinctCountAggregator(*scenario.config)
+    per_group: dict[str, list] = {}
+    for step in scenario.steps:
+        if step.op == OP_HASHES:
+            per_group.setdefault(step.group, []).append(step.hashes)
+    for group, arrays in per_group.items():
+        key = DistinctCountAggregator._group_key(group)
+        sketch = aggregator._groups.get(key)
+        if sketch is None:
+            sketch = aggregator._new_sketch()
+            aggregator._groups[key] = sketch
+        stream = np.concatenate(arrays)
+        if hasattr(sketch, "is_sparse") and sketch.is_sparse:
+            sketch.add_hashes(stream)  # sparse mode has no workers= knob
+        else:
+            sketch.add_hashes(stream, workers=workers)
+    for step in scenario.steps:
+        if step.op == OP_SKETCH:
+            _apply_sketch_step(aggregator, scenario, step)
+    return aggregator
+
+
+def build_store(scenario: Scenario, directory) -> DistinctCountAggregator:
+    """Durable path: WAL appends (+ scheduled compactions), then recovery.
+
+    The returned state is what a *fresh process* recovers from disk —
+    snapshot load plus WAL-tail replay — not the writer's live memory.
+    """
+    from repro.store import SketchStore
+
+    t, d, p, sparse, seed = scenario.config
+    store = SketchStore.open(directory, t=t, d=d, p=p, sparse=sparse, seed=seed)
+    for step in scenario.steps:
+        if step.op == OP_HASHES:
+            store.append_hashes(step.group, step.hashes)
+        elif step.op == OP_SKETCH:
+            store.merge_sketch(step.group, _merge_sketch(scenario, step))
+        elif step.op == OP_COMPACT:
+            store.compact()
+    store.close()
+    recovered = SketchStore.open(directory)
+    aggregator = recovered.aggregator
+    recovered.close()
+    return aggregator
+
+
+def build_follower(scenario: Scenario, leader_directory, follower_directory):
+    """Replication path: run the schedule on a leader, ship every record.
+
+    Syncs mid-schedule (after every compaction, where the follower must
+    fall back to a snapshot install) and once at the end; returns the
+    caught-up follower's aggregator.
+    """
+    from repro.store import FollowerStore, SketchStore, WalShipper
+
+    t, d, p, sparse, seed = scenario.config
+    store = SketchStore.open(leader_directory, t=t, d=d, p=p, sparse=sparse, seed=seed)
+    follower = FollowerStore.open(follower_directory)
+    shipper = WalShipper(leader_directory)
+    for step in scenario.steps:
+        if step.op == OP_HASHES:
+            store.append_hashes(step.group, step.hashes)
+        elif step.op == OP_SKETCH:
+            store.merge_sketch(step.group, _merge_sketch(scenario, step))
+        elif step.op == OP_COMPACT:
+            shipper.sync(follower)  # sometimes catch up just before the log dies
+            store.compact()
+    shipper.sync(follower)
+    assert follower.applied_lsn == store.durable_lsn
+    store.close()
+    follower.close()
+    return follower.aggregator
+
+
+def build_memmap_registers(scenario: Scenario, directory) -> dict[str, np.ndarray]:
+    """Disk-backed fold targets: one register file per group.
+
+    Only meaningful for dense-register comparison; the caller densifies
+    the reference aggregator's sketches to compare register values.
+    """
+    from repro.store import MemmapRegisters
+
+    t, d, p, _, _ = scenario.config
+    arrays: dict[str, np.ndarray] = {}
+    per_group: dict[str, list] = {}
+    for step in scenario.steps:
+        if step.op == OP_HASHES:
+            per_group.setdefault(step.group, []).append(step.hashes)
+        elif step.op == OP_SKETCH:
+            per_group.setdefault(step.group, []).append(step.hashes)
+    for group, streams in per_group.items():
+        with MemmapRegisters.create(
+            directory / f"{group}.reg", "exaloglog", t, d, p
+        ) as registers:
+            for stream in streams:
+                registers.add_hashes(stream)
+            arrays[group] = np.asarray(registers.registers).copy()
+    return arrays
+
+
+# -- comparisons ---------------------------------------------------------------
+
+
+def register_bytes(aggregator: DistinctCountAggregator) -> dict[bytes, bytes]:
+    """Per-group serialized sketch bytes (the bit-identity currency)."""
+    return {
+        key: sketch.to_bytes() for key, sketch in sorted(aggregator._groups.items())
+    }
+
+
+def assert_identical(reference: DistinctCountAggregator, other, label: str) -> None:
+    """Byte-level equality of two aggregator states, with a precise diff."""
+    mine = register_bytes(reference)
+    theirs = register_bytes(other)
+    assert mine.keys() == theirs.keys(), (
+        f"{label}: group sets differ: {sorted(mine)} vs {sorted(theirs)}"
+    )
+    for key in mine:
+        assert mine[key] == theirs[key], (
+            f"{label}: registers of group {key!r} are not bit-identical"
+        )
+    assert reference.to_bytes() == other.to_bytes(), f"{label}: aggregator bytes differ"

@@ -1,0 +1,107 @@
+"""Cross-layer bit-identity over randomized scenarios (one seed = one id).
+
+Replaces the per-PR equivalence boilerplate: every ingest layer builds
+the same seeded workload and must land on byte-identical state; every
+query layer must produce float-identical estimates.
+"""
+
+import numpy as np
+import pytest
+
+from tests.invariants.harness import (
+    assert_identical,
+    build_bulk,
+    build_follower,
+    build_memmap_registers,
+    build_parallel,
+    build_scalar,
+    build_store,
+    random_scenario,
+    register_bytes,
+    rounds,
+)
+
+
+@pytest.fixture(scope="module", params=rounds())
+def scenario(request):
+    return random_scenario(request.param)
+
+
+@pytest.fixture(scope="module")
+def reference(scenario):
+    return build_scalar(scenario)
+
+
+def test_bulk_matches_scalar(scenario, reference):
+    assert_identical(reference, build_bulk(scenario), "add_hashes vs add_hash")
+
+
+def test_store_replay_matches_scalar(scenario, reference, tmp_path):
+    recovered = build_store(scenario, tmp_path / "store")
+    assert_identical(reference, recovered, "store-replayed vs add_hash")
+
+
+def test_follower_matches_scalar(scenario, reference, tmp_path):
+    replica = build_follower(scenario, tmp_path / "leader", tmp_path / "replica")
+    assert_identical(reference, replica, "follower-replicated vs add_hash")
+
+
+def test_memmap_registers_match_scalar(scenario, reference, tmp_path):
+    arrays = build_memmap_registers(scenario, tmp_path)
+    from repro.aggregate import DistinctCountAggregator
+
+    for group, array in arrays.items():
+        key = DistinctCountAggregator._group_key(group)
+        sketch = reference._groups[key].copy()
+        dense = sketch.densify() if hasattr(sketch, "densify") else sketch
+        assert array.tolist() == list(dense._registers), (
+            f"memmap registers of group {group!r} differ from the scalar fold"
+        )
+
+
+def test_batched_estimates_match_scalar(scenario, reference):
+    """``estimates()`` (one simultaneous solve) vs per-sketch ``estimate()``."""
+    batched = reference.estimates()
+    for key, sketch in reference._groups.items():
+        assert batched[key] == sketch.estimate(), (
+            f"batched estimate of group {key!r} differs from the scalar solve"
+        )
+
+
+def test_estimate_register_stacks_matches_scalar(scenario, reference):
+    """The foreign-row batched solve equals scalar estimation row by row."""
+    from repro.estimation.batch import estimate_register_stacks
+
+    dense = {
+        key: (
+            sketch.copy().densify() if hasattr(sketch, "densify") else sketch
+        )
+        for key, sketch in register_items(reference)
+    }
+    if not dense:
+        pytest.skip("scenario produced no groups")
+    params = next(iter(dense.values()))._params
+    keys = sorted(dense)
+    stacked = estimate_register_stacks(
+        [dense[key]._registers for key in keys], params
+    )
+    for key, value in zip(keys, stacked.tolist()):
+        assert value == dense[key].estimate()
+
+
+def register_items(aggregator):
+    return sorted(aggregator._groups.items())
+
+
+@pytest.mark.parametrize("seed", rounds(3))
+def test_parallel_matches_scalar(seed, tmp_path):
+    """``workers=N`` process-pool folds vs the scalar loop.
+
+    Separate (and fewer) seeds: pool start-up per group makes this the
+    most expensive builder, and rebatching per group is itself part of
+    the invariant (commutative + idempotent + exact merge).
+    """
+    scenario = random_scenario(1000 + seed)
+    reference = build_scalar(scenario)
+    parallel = build_parallel(scenario, workers=2)
+    assert register_bytes(reference) == register_bytes(parallel)

@@ -1,0 +1,122 @@
+"""Concurrency stress: live writer + multiple reader processes, no locks.
+
+One process appends batches (and periodically compacts) while reader
+processes tail the WAL through :class:`SnapshotReader`. The readers
+assert, continuously:
+
+* no torn record is ever surfaced (refresh either applies complete
+  records or stops at the durable horizon — any ``SerializationError``
+  or crash fails the test);
+* no stale-generation mix (a reader's view is always one snapshot + its
+  own WAL; violations surface as LSN-sequence errors);
+* the durable horizon is monotone refresh over refresh;
+* the final view is bit-identical to the writer's final state.
+"""
+
+import hashlib
+import multiprocessing
+import os
+import pathlib
+import struct
+import time
+import traceback
+
+import numpy as np
+import pytest
+
+from repro.store import SketchStore, SnapshotReader
+
+#: Writer workload: small batches so record boundaries churn quickly.
+BATCHES = 150
+BATCH_SIZE = 64
+GROUPS = 5
+COMPACT_EVERY = 40
+
+_DEADLINE = 120.0
+
+
+def _writer_process(directory, done_path):
+    rng = np.random.Generator(np.random.PCG64(1234))
+    store = SketchStore.open(directory)
+    for index in range(BATCHES):
+        hashes = rng.integers(0, 1 << 64, size=BATCH_SIZE, dtype=np.uint64)
+        store.append_hashes(f"g{index % GROUPS}", hashes)
+        if (index + 1) % COMPACT_EVERY == 0:
+            store.compact()
+    digest = hashlib.sha256(store.aggregator.to_bytes()).digest()
+    lsn = store.durable_lsn
+    store.close()
+    # Atomic done marker: readers poll for it, then take a final refresh.
+    temporary = pathlib.Path(str(done_path) + ".tmp")
+    temporary.write_bytes(struct.pack("<q", lsn) + digest)
+    os.replace(temporary, done_path)
+
+
+def _reader_process(directory, done_path, results):
+    try:
+        reader = SnapshotReader.open(directory)
+        refreshes = 0
+        last_lsn = reader.durable_lsn
+        deadline = time.monotonic() + _DEADLINE
+        while True:
+            writer_done = os.path.exists(done_path)
+            result = reader.refresh()
+            refreshes += 1
+            assert result.durable_lsn >= last_lsn, (
+                f"horizon regressed: {last_lsn} -> {result.durable_lsn}"
+            )
+            last_lsn = result.durable_lsn
+            # The whole view must stay estimable at every horizon.
+            estimates = reader.estimates()
+            assert all(value >= 0.0 for value in estimates.values())
+            if writer_done:
+                # `done` was observed *before* this refresh, so the view
+                # now includes the writer's last record.
+                break
+            if time.monotonic() > deadline:
+                raise TimeoutError("writer never finished")
+            time.sleep(0.002)
+        digest = hashlib.sha256(reader.aggregator.to_bytes()).digest()
+        results.put(("ok", last_lsn, digest, refreshes))
+        reader.close()
+    except BaseException:
+        results.put(("error", traceback.format_exc(), None, None))
+
+
+@pytest.mark.parametrize("readers", [2])
+def test_readers_tail_live_writer(readers, tmp_path):
+    directory = tmp_path / "store"
+    done_path = tmp_path / "writer-done"
+    SketchStore.open(directory).close()  # generation 0 exists before readers start
+
+    context = multiprocessing.get_context()
+    results = context.Queue()
+    processes = [
+        context.Process(target=_writer_process, args=(directory, done_path))
+    ] + [
+        context.Process(target=_reader_process, args=(directory, done_path, results))
+        for _ in range(readers)
+    ]
+    for process in processes:
+        process.start()
+    try:
+        outcomes = [results.get(timeout=_DEADLINE) for _ in range(readers)]
+    finally:
+        for process in processes:
+            process.join(timeout=_DEADLINE)
+            if process.is_alive():
+                process.terminate()
+
+    failures = [outcome for outcome in outcomes if outcome[0] != "ok"]
+    assert not failures, "reader process failed:\n" + "\n".join(
+        outcome[1] for outcome in failures
+    )
+
+    packed = done_path.read_bytes()
+    writer_lsn = struct.unpack("<q", packed[:8])[0]
+    writer_digest = packed[8:]
+    assert writer_lsn == BATCHES
+    for _, lsn, digest, refreshes in outcomes:
+        assert lsn == writer_lsn, f"reader stopped at LSN {lsn}, writer at {writer_lsn}"
+        assert digest == writer_digest, "reader's final view is not bit-identical"
+        assert refreshes >= 1

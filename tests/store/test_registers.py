@@ -161,3 +161,62 @@ class TestProtocolAndErrors:
         assert not path.exists()
         # The path stays usable for a corrected retry.
         MemmapRegisters.create(path, "exaloglog", 2, 20, 4).close()
+
+
+class TestReadOnly:
+    """Foreign-file mode: a query process mapping another process's file."""
+
+    def _folded(self, tmp_path, kind="exaloglog", **kwargs):
+        import numpy as np
+
+        rng = np.random.Generator(np.random.PCG64(77))
+        hashes = rng.integers(0, 1 << 64, size=5_000, dtype=np.uint64)
+        path = tmp_path / "foreign.reg"
+        with MemmapRegisters.create(path, kind, **kwargs) as registers:
+            registers.add_hashes(hashes)
+            expected = registers.estimate()
+        return path, expected
+
+    def test_readonly_open_estimates_without_write_access(self, tmp_path):
+        path, expected = self._folded(tmp_path, t=2, d=20, p=10)
+        with MemmapRegisters.open(path, readonly=True) as foreign:
+            assert foreign.readonly
+            assert foreign.estimate() == expected
+            assert not foreign.registers.flags.writeable
+
+    def test_readonly_open_rejects_mutation(self, tmp_path):
+        import numpy as np
+
+        path, _ = self._folded(tmp_path, t=2, d=20, p=6)
+        with MemmapRegisters.open(path, readonly=True) as foreign:
+            with pytest.raises(ValueError, match="read-only"):
+                foreign.add_hashes(np.array([1, 2], dtype=np.uint64))
+            with pytest.raises(ValueError, match="read-only"):
+                foreign.merge_registers(np.zeros(foreign.m, dtype=np.int64))
+
+    def test_estimate_many_matches_per_file_estimates(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.Generator(np.random.PCG64(78))
+        expected = []
+        opened = []
+        for index, (kind, kwargs) in enumerate(
+            [
+                ("exaloglog", {"t": 2, "d": 20, "p": 10}),
+                ("exaloglog", {"t": 2, "d": 20, "p": 10}),
+                ("exaloglog", {"t": 1, "d": 9, "p": 8}),
+                ("hyperloglog", {"p": 10}),
+                ("pcsa", {"p": 6}),
+            ]
+        ):
+            path = tmp_path / f"fleet-{index}.reg"
+            with MemmapRegisters.create(path, kind, **kwargs) as registers:
+                registers.add_hashes(
+                    rng.integers(0, 1 << 64, size=2_000, dtype=np.uint64)
+                )
+            foreign = MemmapRegisters.open(path, readonly=True)
+            opened.append(foreign)
+            expected.append(foreign.estimate())
+        assert MemmapRegisters.estimate_many(opened) == expected
+        for foreign in opened:
+            foreign.close()

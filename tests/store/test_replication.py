@@ -1,0 +1,170 @@
+"""WalShipper / FollowerStore: idempotent LSN apply, catch-up identity."""
+
+import numpy as np
+import pytest
+
+from repro.storage.serialization import SerializationError
+from repro.store import (
+    RECORD_HASHES,
+    FollowerStore,
+    SketchStore,
+    SnapshotReader,
+    WalShipper,
+    wal_path,
+)
+
+
+def _hashes(seed, count):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return rng.integers(0, 1 << 64, size=count, dtype=np.uint64)
+
+
+def _payload(seed, count):
+    return _hashes(seed, count).astype("<u8").tobytes()
+
+
+@pytest.fixture
+def leader(tmp_path):
+    store = SketchStore.open(tmp_path / "leader")
+    store.append_hashes("DE", _hashes(1, 400))
+    store.append_hashes("AT", _hashes(2, 60))
+    store.append_hashes("DE", _hashes(3, 100))
+    yield store
+    store.close()
+
+
+class TestFollowerStore:
+    def test_uninitialised_follower_rejects_queries(self, tmp_path):
+        follower = FollowerStore.open(tmp_path / "replica")
+        assert not follower.initialized
+        assert follower.applied_lsn == 0
+        with pytest.raises(ValueError, match="uninitialised"):
+            follower.estimates()
+        with pytest.raises(ValueError, match="uninitialised"):
+            follower.apply_record(1, RECORD_HASHES, b"DE", _payload(4, 5))
+
+    def test_apply_is_idempotent_by_lsn(self, leader, tmp_path):
+        follower = FollowerStore.open(tmp_path / "replica")
+        WalShipper(leader.directory).sync(follower)
+        assert follower.applied_lsn == 3
+        # Re-applying any shipped LSN is a no-op, not a double fold.
+        before = follower.aggregator.to_bytes()
+        assert follower.apply_record(2, RECORD_HASHES, b"DE", _payload(3, 7)) is False
+        assert follower.aggregator.to_bytes() == before
+
+    def test_gap_is_rejected(self, leader, tmp_path):
+        follower = FollowerStore.open(tmp_path / "replica")
+        WalShipper(leader.directory).sync(follower)
+        with pytest.raises(SerializationError, match="gap"):
+            follower.apply_record(10, RECORD_HASHES, b"DE", _payload(5, 3))
+
+    def test_snapshot_behind_horizon_is_rejected(self, leader, tmp_path):
+        follower = FollowerStore.open(tmp_path / "replica")
+        WalShipper(leader.directory).sync(follower)
+        stale = (leader.directory / "snapshot-00000000.bin").read_bytes()
+        with pytest.raises(ValueError, match="behind"):
+            follower.install_snapshot(stale)
+
+    def test_follower_recovers_after_restart(self, leader, tmp_path):
+        follower = FollowerStore.open(tmp_path / "replica")
+        WalShipper(leader.directory).sync(follower)
+        state = follower.aggregator.to_bytes()
+        del follower  # no clean close: records were flushed per apply
+        reopened = FollowerStore.open(tmp_path / "replica")
+        assert reopened.initialized
+        assert reopened.applied_lsn == 3
+        assert reopened.aggregator.to_bytes() == state
+        reopened.close()
+
+    def test_follower_wal_is_byte_identical_to_leader(self, leader, tmp_path):
+        """Same records, deterministic framing: the logs match byte for byte."""
+        follower = FollowerStore.open(tmp_path / "replica")
+        WalShipper(leader.directory).sync(follower)
+        follower.close()
+        leader_wal = wal_path(leader.directory, 0).read_bytes()
+        replica_wal = wal_path(tmp_path / "replica", 0).read_bytes()
+        assert replica_wal == leader_wal
+
+
+class TestWalShipper:
+    def test_missing_leader_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            WalShipper(tmp_path / "absent")
+
+    def test_uninitialised_leader_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        follower = FollowerStore.open(tmp_path / "replica")
+        with pytest.raises(SerializationError, match="no snapshot"):
+            WalShipper(tmp_path / "empty").sync(follower)
+
+    def test_catch_up_guarantee(self, leader, tmp_path):
+        """Applied to the horizon ⇒ bit-identical registers, every group."""
+        follower = FollowerStore.open(tmp_path / "replica")
+        result = WalShipper(leader.directory).sync(follower)
+        assert result.follower_lsn == leader.durable_lsn
+        for key, sketch in leader.aggregator._groups.items():
+            assert follower.aggregator._groups[key].to_bytes() == sketch.to_bytes()
+        assert follower.aggregator.to_bytes() == leader.aggregator.to_bytes()
+
+    def test_incremental_sync_ships_only_new_records(self, leader, tmp_path):
+        follower = FollowerStore.open(tmp_path / "replica")
+        shipper = WalShipper(leader.directory)
+        assert shipper.sync(follower).records_shipped == 3
+        assert shipper.sync(follower).records_shipped == 0
+        leader.append_hashes("CH", _hashes(6, 30))
+        result = shipper.sync(follower)
+        assert result.records_shipped == 1 and not result.snapshot_installed
+        assert follower.aggregator.to_bytes() == leader.aggregator.to_bytes()
+
+    def test_compaction_forces_snapshot_install(self, leader, tmp_path):
+        follower = FollowerStore.open(tmp_path / "replica")
+        shipper = WalShipper(leader.directory)
+        # Never synced before the leader compacts: the old log is gone.
+        leader.compact()
+        leader.append_hashes("DE", _hashes(7, 20))
+        result = shipper.sync(follower)
+        assert result.snapshot_installed
+        assert result.records_shipped == 1
+        assert follower.generation == 1
+        assert follower.aggregator.to_bytes() == leader.aggregator.to_bytes()
+
+    def test_caught_up_follower_survives_leader_compaction(self, leader, tmp_path):
+        """A follower at the horizon needs no snapshot when the leader
+        compacts — its LSN already covers the new snapshot's base."""
+        follower = FollowerStore.open(tmp_path / "replica")
+        shipper = WalShipper(leader.directory)
+        shipper.sync(follower)
+        leader.compact()
+        leader.append_hashes("AT", _hashes(8, 20))
+        result = shipper.sync(follower)
+        assert not result.snapshot_installed
+        assert result.records_shipped == 1
+        assert follower.aggregator.to_bytes() == leader.aggregator.to_bytes()
+
+    def test_sketch_merge_records_replicate(self, leader, tmp_path):
+        from repro.core.exaloglog import ExaLogLog
+
+        bucket = ExaLogLog(2, 20, 8).add_hashes(_hashes(9, 100))
+        leader.merge_sketch("bucket:1", bucket)
+        follower = FollowerStore.open(tmp_path / "replica")
+        WalShipper(leader.directory).sync(follower)
+        assert follower.aggregator.to_bytes() == leader.aggregator.to_bytes()
+
+    def test_replica_serves_readers(self, leader, tmp_path):
+        follower = FollowerStore.open(tmp_path / "replica")
+        WalShipper(leader.directory).sync(follower)
+        follower.close()
+        with SnapshotReader.open(tmp_path / "replica") as reader:
+            assert reader.aggregator.to_bytes() == leader.aggregator.to_bytes()
+            assert reader.estimates() == leader.estimates()
+
+    def test_torn_leader_tail_is_not_shipped(self, leader, tmp_path):
+        """Only the durable prefix replicates; the torn tail stays put."""
+        leader.close()
+        wal_file = wal_path(leader.directory, 0)
+        torn = wal_file.read_bytes() + b"\x01\x15partial-append"
+        wal_file.write_bytes(torn)
+        follower = FollowerStore.open(tmp_path / "replica")
+        result = WalShipper(leader.directory).sync(follower)
+        assert result.follower_lsn == 3
+        assert wal_file.read_bytes() == torn, "shipper mutated the leader WAL"

@@ -154,7 +154,11 @@ class TestCompaction:
             assert store.wal_records == 0
             assert store.aggregator.to_bytes() == blob
         names = sorted(p.name for p in (tmp_path / "s").iterdir())
-        assert names == ["snapshot-00000001.bin", "wal-00000001.log"]
+        assert names == [
+            "snapshot-00000001.bin",
+            "wal-00000001.log",
+            "walidx-00000001.log",
+        ]
         with SketchStore.open(tmp_path / "s") as reopened:
             assert reopened.generation == 1
             assert reopened.aggregator.to_bytes() == blob
@@ -191,7 +195,11 @@ class TestCompaction:
         with SketchStore.open(tmp_path / "s") as store:
             assert store.generation == 1
         names = sorted(p.name for p in (tmp_path / "s").iterdir())
-        assert names == ["snapshot-00000001.bin", "wal-00000001.log"]
+        assert names == [
+            "snapshot-00000001.bin",
+            "wal-00000001.log",
+            "walidx-00000001.log",
+        ]
 
 
 class TestCorruption:

@@ -59,12 +59,12 @@ def populated_store(tmp_path):
 
 def _record_boundaries(wal_bytes):
     """Offsets at which a record ends (including the file header)."""
-    from repro.storage.serialization import IncompleteRecordError, read_record
+    from repro.storage.serialization import read_lsn_record
 
     boundaries = [_FILE_HEADER_BYTES]
     offset = _FILE_HEADER_BYTES
     while offset < len(wal_bytes):
-        _, _, _, offset = read_record(wal_bytes, offset)
+        _, _, _, _, offset = read_lsn_record(wal_bytes, offset)
         boundaries.append(offset)
     return boundaries
 

@@ -1,0 +1,91 @@
+"""Group-level WAL index: maintenance, torn tails, recovery rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.storage.serialization import SerializationError
+from repro.store import SketchStore, load_wal_index, wal_index_path, wal_path
+from repro.store.walindex import WalIndexEntry, scan_floor
+
+
+def _hashes(seed, count):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return rng.integers(0, 1 << 64, size=count, dtype=np.uint64)
+
+
+def test_index_tracks_every_append(tmp_path):
+    with SketchStore.open(tmp_path / "s") as store:
+        store.append_hashes("DE", _hashes(1, 50))
+        store.append_hashes("AT", _hashes(2, 5))
+        store.append_hashes("DE", _hashes(3, 20))
+    index = load_wal_index(wal_index_path(tmp_path / "s", 0))
+    assert sorted(index) == [b"AT", b"DE"]
+    assert [entry.lsn for entry in index[b"DE"]] == [1, 3]
+    assert [entry.lsn for entry in index[b"AT"]] == [2]
+    # Entries point at real record boundaries inside the WAL.
+    wal_bytes = wal_path(tmp_path / "s", 0).read_bytes()
+    from repro.storage.serialization import read_lsn_record
+
+    for entries in index.values():
+        for entry in entries:
+            lsn, kind, key, payload, end = read_lsn_record(wal_bytes, entry.offset)
+            assert lsn == entry.lsn
+            assert end == entry.end
+
+
+def test_index_rebuilt_on_recovery(tmp_path):
+    """Crash recovery rewrites the index to match the (truncated) WAL."""
+    store = SketchStore.open(tmp_path / "s")
+    store.append_hashes("DE", _hashes(4, 30))
+    store.append_hashes("AT", _hashes(5, 30))
+    del store  # crash: no close
+    # Simulate a torn WAL tail: cut into the second record.
+    wal_file = wal_path(tmp_path / "s", 0)
+    data = wal_file.read_bytes()
+    wal_file.write_bytes(data[: len(data) - 10])
+    with SketchStore.open(tmp_path / "s") as recovered:
+        assert recovered.wal_records == 1
+    index = load_wal_index(wal_index_path(tmp_path / "s", 0))
+    assert sorted(index) == [b"DE"]  # the AT record did not survive
+
+
+def test_index_resets_on_compact(tmp_path):
+    with SketchStore.open(tmp_path / "s") as store:
+        store.append_hashes("DE", _hashes(6, 30))
+        store.compact()
+        assert load_wal_index(wal_index_path(tmp_path / "s", 1)) == {}
+        assert not wal_index_path(tmp_path / "s", 0).exists()
+        store.append_hashes("AT", _hashes(7, 10))
+    index = load_wal_index(wal_index_path(tmp_path / "s", 1))
+    assert list(index) == [b"AT"]
+    assert index[b"AT"][0].lsn == 2  # LSNs keep counting across generations
+
+
+def test_missing_and_torn_index_files(tmp_path):
+    assert load_wal_index(tmp_path / "absent.idx") == {}
+    with SketchStore.open(tmp_path / "s") as store:
+        store.append_hashes("DE", _hashes(8, 30))
+        store.append_hashes("AT", _hashes(9, 30))
+    index_file = wal_index_path(tmp_path / "s", 0)
+    full = load_wal_index(index_file)
+    data = index_file.read_bytes()
+    index_file.write_bytes(data[: len(data) - 5])  # torn tail
+    partial = load_wal_index(index_file)
+    assert list(partial) == [b"DE"]  # the first entry survived
+    assert partial[b"DE"] == full[b"DE"]
+
+
+def test_scan_floor(tmp_path):
+    assert scan_floor({}) == 0
+    index = {
+        b"a": [WalIndexEntry(1, 4, 10), WalIndexEntry(3, 30, 12)],
+        b"b": [WalIndexEntry(2, 14, 16)],
+    }
+    assert scan_floor(index) == 42
+
+
+def test_foreign_index_file_rejected(tmp_path):
+    path = tmp_path / "bogus.idx"
+    path.write_bytes(b"\xde\xad\xbe\xef" + b"junk")
+    with pytest.raises(SerializationError):
+        load_wal_index(path)
