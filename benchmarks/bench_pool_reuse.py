@@ -1,0 +1,236 @@
+"""Warm-pool floor: persistent workers must never lose to the bulk fold.
+
+The persistent pool's raison d'être is that a warm ``workers=`` call
+costs one memcpy into the shared-memory segment plus dispatch — so at 1
+worker it must track the single-process bulk fold (>= 0.95x, the pool
+may not *cost* anything), and at 4 workers on a >= 4-core machine it
+must genuinely scale (>= 1.8x). Cold-pool rates (fresh pool per call)
+are recorded alongside for contrast: the gap between cold and warm *is*
+the pool's payoff.
+
+On machines with fewer than 4 cores the scaling gate is meaningless
+(there is nothing to fan out to) and is reported as an explicit SKIP —
+but bit-identity of every pool fold against the bulk fold is verified
+unconditionally, so the transport is exercised everywhere.
+
+Results go to ``BENCH_pool_reuse.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_pool_reuse.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.backends.bulk import exaloglog_registers
+from repro.core.params import ExaLogLogParams
+from repro.experiments.common import format_table
+from repro.parallel import (
+    ParallelBulkIngestor,
+    PersistentIngestPool,
+    preferred_start_method,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_JSON = REPO_ROOT / "BENCH_pool_reuse.json"
+OUTPUT_TXT = pathlib.Path(__file__).resolve().parent / "output" / "bench_pool_reuse.txt"
+
+PARAMS = ExaLogLogParams(2, 20, 8)
+
+#: Timed repetitions (best-of); the warm pool's first call pays segment
+#: creation, later calls are the steady state being measured.
+ROUNDS = 4
+
+#: The gates: warm-pool speedup vs bulk must meet these floors.
+FLOOR_1_WORKER = 0.95
+FLOOR_4_WORKERS = 1.8
+
+
+def _rate(elapsed: float, count: int) -> float:
+    return count / elapsed if elapsed > 0 else float("inf")
+
+
+def _best_of(build, rounds: int = ROUNDS) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        candidate = build()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result = elapsed, candidate
+    return best, result
+
+
+def bench_worker_count(
+    count: int, hashes: np.ndarray, expected: np.ndarray, bulk_rate: float
+) -> list[dict]:
+    n = len(hashes)
+    # Through the pool even at 1 worker (ParallelBulkIngestor would
+    # short-circuit in-process there, hiding the transport overhead the
+    # 0.95x floor is supposed to bound).
+    bounds = ParallelBulkIngestor(PARAMS, count).slice_bounds(n)
+
+    def cold() -> np.ndarray:
+        pool = PersistentIngestPool(workers=count, idle_timeout=0.0)
+        try:
+            return pool.fold_registers(hashes, bounds, PARAMS, workers=count)
+        finally:
+            pool.shutdown()
+
+    cold_seconds, cold_registers = _best_of(cold)
+    if not np.array_equal(cold_registers, expected):
+        raise AssertionError(f"cold-pool fold diverged at workers={count}")
+
+    warm_pool = PersistentIngestPool(workers=count, idle_timeout=0.0).warm(count)
+    try:
+        # Pay segment creation outside the timing (steady state is measured).
+        warm_pool.fold_registers(hashes, bounds, PARAMS, workers=count)
+        spawned = warm_pool.spawn_count
+        warm_seconds, warm_registers = _best_of(
+            lambda: warm_pool.fold_registers(hashes, bounds, PARAMS, workers=count)
+        )
+        if not np.array_equal(warm_registers, expected):
+            raise AssertionError(f"warm-pool fold diverged at workers={count}")
+        if warm_pool.spawn_count != spawned:
+            raise AssertionError(
+                f"warm pool respawned mid-benchmark at workers={count}"
+            )
+    finally:
+        warm_pool.shutdown()
+
+    cold_rate = _rate(cold_seconds, n)
+    warm_rate = _rate(warm_seconds, n)
+    return [
+        {
+            "mode": f"cold pool ({count} workers)",
+            "workers": count,
+            "pool": "cold",
+            "n": n,
+            "items_per_s": cold_rate,
+            "speedup_vs_bulk": cold_rate / bulk_rate,
+        },
+        {
+            "mode": f"warm pool ({count} workers)",
+            "workers": count,
+            "pool": "warm",
+            "n": n,
+            "items_per_s": warm_rate,
+            "speedup_vs_bulk": warm_rate / bulk_rate,
+        },
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI mode: n = 6e5, workers {1, 2}"
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=OUTPUT_JSON, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    n = 600_000 if args.quick else 10_000_000
+    worker_counts = (1, 2) if args.quick else (1, 2, 4)
+    cpu_count = multiprocessing.cpu_count()
+    rng = np.random.Generator(np.random.PCG64(0x9001_4E05E))
+    hashes = rng.integers(0, 1 << 64, size=n, dtype=np.uint64)
+
+    exaloglog_registers(hashes[: n // 100], PARAMS)  # warm ufuncs/allocator
+    bulk_seconds, expected = _best_of(lambda: exaloglog_registers(hashes, PARAMS))
+    bulk_rate = _rate(bulk_seconds, n)
+    rows = [
+        {
+            "mode": "bulk fold (1 process)",
+            "workers": 1,
+            "pool": "none",
+            "n": n,
+            "items_per_s": bulk_rate,
+            "speedup_vs_bulk": 1.0,
+        }
+    ]
+    for count in worker_counts:
+        rows.extend(bench_worker_count(count, hashes, expected, bulk_rate))
+
+    for row in rows:
+        print(
+            f"{row['mode']:26s} n={n:>10,d}"
+            f"  {row['items_per_s']:>14,.0f}/s"
+            f"  vs bulk {row['speedup_vs_bulk']:>6.2f}x"
+        )
+
+    def warm_speedup(count: int):
+        matches = [
+            row["speedup_vs_bulk"]
+            for row in rows
+            if row["pool"] == "warm" and row["workers"] == count
+        ]
+        return matches[0] if matches else None
+
+    gated = cpu_count >= 4 and not args.quick
+    payload = {
+        "quick": args.quick,
+        "cpu_count": cpu_count,
+        "start_method": preferred_start_method(),
+        "n": n,
+        "workers": list(worker_counts),
+        "results": rows,
+        "warm_1_worker_speedup": warm_speedup(1),
+        "warm_4_worker_speedup": warm_speedup(4),
+        "gates": {
+            "warm_1_worker_floor": FLOOR_1_WORKER,
+            "warm_4_worker_floor": FLOOR_4_WORKERS,
+            "evaluated": gated,
+        },
+        "bit_identical": True,  # every fold above was asserted against bulk
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    OUTPUT_TXT.parent.mkdir(exist_ok=True)
+    OUTPUT_TXT.write_text(
+        "== pool reuse: bulk fold vs cold-pool vs warm-pool fan-out ==\n"
+        f"(cpu_count={cpu_count}, start_method={preferred_start_method()})\n"
+        + format_table(rows, ["mode", "n", "items_per_s", "speedup_vs_bulk"])
+        + "\n"
+    )
+    print(f"\nwrote {args.output} and {OUTPUT_TXT}")
+
+    if args.quick:
+        print("OK: quick mode (bit-identity checked, no speedup gates)")
+        return 0
+    if cpu_count < 4:
+        print(
+            f"SKIP: speedup gates need >= 4 cores, this machine has {cpu_count} "
+            "(bit-identity of every pool fold to the bulk fold was verified)"
+        )
+        return 0
+    failures = []
+    one = warm_speedup(1)
+    four = warm_speedup(4)
+    if one is None or one < FLOOR_1_WORKER:
+        failures.append(f"warm pool @1 worker {one:.2f}x < {FLOOR_1_WORKER}x bulk")
+    if four is None or four < FLOOR_4_WORKERS:
+        failures.append(f"warm pool @4 workers {four:.2f}x < {FLOOR_4_WORKERS}x bulk")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"OK: warm pool {one:.2f}x bulk @1 worker, {four:.2f}x @4 workers "
+        f"(floors {FLOOR_1_WORKER}x / {FLOOR_4_WORKERS}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

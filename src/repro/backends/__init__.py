@@ -16,6 +16,7 @@ from repro.backends.bitops import (
 )
 from repro.backends.bulk import (
     BULK_CHUNK,
+    ReferenceBulkBackend,
     exaloglog_registers,
     exaloglog_registers_from_pairs,
     exaloglog_state,
@@ -24,6 +25,9 @@ from repro.backends.bulk import (
     merge_exaloglog_registers,
     pcsa_bitmaps,
     pcsa_state,
+    reference_exaloglog_registers,
+    reference_merge_registers,
+    reference_registers_from_pairs,
     spikesketch_pairs,
     spikesketch_state,
     split_hashes,
@@ -31,12 +35,24 @@ from repro.backends.bulk import (
     token_hashes,
     tokenize_hashes,
 )
+from repro.backends.fast import HAVE_NUMBA, FastBulkBackend, pick_chunk
 from repro.backends.protocol import BulkBackend, scalar_add_hashes, supports_bulk
+from repro.backends.select import (
+    active_backend,
+    available_backends,
+    set_backend,
+    use_backend,
+)
 
 __all__ = [
     "BULK_CHUNK",
     "BulkBackend",
+    "FastBulkBackend",
+    "HAVE_NUMBA",
+    "ReferenceBulkBackend",
+    "active_backend",
     "as_hash_array",
+    "available_backends",
     "bit_length_u64",
     "exaloglog_registers",
     "exaloglog_registers_from_pairs",
@@ -48,7 +64,12 @@ __all__ = [
     "ntz64_array",
     "pcsa_bitmaps",
     "pcsa_state",
+    "pick_chunk",
+    "reference_exaloglog_registers",
+    "reference_merge_registers",
+    "reference_registers_from_pairs",
     "scalar_add_hashes",
+    "set_backend",
     "spikesketch_pairs",
     "spikesketch_state",
     "split_hashes",
@@ -56,4 +77,5 @@ __all__ = [
     "supports_int64_registers",
     "token_hashes",
     "tokenize_hashes",
+    "use_backend",
 ]

@@ -12,17 +12,30 @@ import numpy as np
 _U64 = np.uint64
 
 
-def bit_length_u64(values: np.ndarray) -> np.ndarray:
-    """Element-wise ``int.bit_length`` for uint64 arrays (exact)."""
-    x = values.astype(_U64, copy=True)
+def bit_length_u64(values: np.ndarray, clobber: bool = False) -> np.ndarray:
+    """Element-wise ``int.bit_length`` for uint64 arrays (exact).
+
+    ``clobber=True`` runs the bit smear in place when ``values`` is a
+    writeable uint64 array the caller owns and no longer needs, skipping
+    the defensive copy — the fold hot path hands in a freshly built
+    temporary once per chunk, so that copy was pure overhead.
+    """
+    if clobber and values.dtype == _U64 and values.flags.writeable:
+        x = values
+    else:
+        x = values.astype(_U64, copy=True)
     for shift in (1, 2, 4, 8, 16, 32):
         x |= x >> _U64(shift)
     return np.bitwise_count(x).astype(np.int64)
 
 
-def nlz64_array(values: np.ndarray) -> np.ndarray:
-    """Element-wise number of leading zeros of uint64 values."""
-    return 64 - bit_length_u64(values)
+def nlz64_array(values: np.ndarray, clobber: bool = False) -> np.ndarray:
+    """Element-wise number of leading zeros of uint64 values.
+
+    ``clobber`` forwards to :func:`bit_length_u64` (the input may be
+    destroyed when the caller owns it).
+    """
+    return 64 - bit_length_u64(values, clobber=clobber)
 
 
 def ntz64_array(values: np.ndarray) -> np.ndarray:

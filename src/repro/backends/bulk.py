@@ -18,6 +18,13 @@ The builders come in two flavours:
 Register arrays are held as int64; callers must guard ``register_bits <=
 63`` (``d`` up to 57 with t=0) and fall back to the scalar loop beyond
 that — :func:`supports_int64_registers` spells the condition out.
+
+The three ExaLogLog hot-path entry points — :func:`exaloglog_registers`,
+:func:`exaloglog_registers_from_pairs`, :func:`merge_exaloglog_registers` —
+dispatch through the active kernel backend (:mod:`repro.backends.select`);
+the ``reference_*`` functions here are the pure-NumPy implementations the
+default backend uses and every other backend is checked bit-identical
+against.
 """
 
 from __future__ import annotations
@@ -62,12 +69,14 @@ def split_hashes(
     hashes = hashes.astype(_U64, copy=False)
     index = (hashes >> t) & _U64(params.m - 1)
     masked = hashes | _U64((1 << (params.p + params.t)) - 1)
-    nlz = nlz64_array(masked)
+    # ``masked`` is a fresh temporary owned by this frame, so the bit
+    # smear may destroy it in place instead of copying it first.
+    nlz = nlz64_array(masked, clobber=True)
     k = (nlz << params.t) + (hashes & _U64((1 << params.t) - 1)).astype(np.int64) + 1
     return index.astype(np.int64), k
 
 
-def exaloglog_registers_from_pairs(
+def reference_registers_from_pairs(
     index: np.ndarray, k: np.ndarray, params: ExaLogLogParams
 ) -> np.ndarray:
     """Fold ``(register, update value)`` pairs into a fresh register array.
@@ -97,16 +106,22 @@ def exaloglog_registers_from_pairs(
     return (u << d) | low
 
 
-def exaloglog_registers(hashes: np.ndarray, params: ExaLogLogParams) -> np.ndarray:
-    """Fresh ExaLogLog register array for a hash batch (chunked fold)."""
+def reference_exaloglog_registers(
+    hashes: np.ndarray, params: ExaLogLogParams
+) -> np.ndarray:
+    """Fresh ExaLogLog register array for a hash batch (chunked fold).
+
+    Uses only reference kernels internally, so it stays a valid baseline
+    even while a different backend is active.
+    """
     registers = None
     for chunk in _chunks(hashes):
         index, k = split_hashes(chunk, params)
-        batch = exaloglog_registers_from_pairs(index, k, params)
+        batch = reference_registers_from_pairs(index, k, params)
         if registers is None:
             registers = batch
         else:
-            registers = merge_exaloglog_registers(registers, batch, params.d)
+            registers = reference_merge_registers(registers, batch, params.d)
     if registers is None:
         registers = np.zeros(params.m, dtype=np.int64)
     return registers
@@ -117,7 +132,7 @@ def exaloglog_state(hashes: np.ndarray, params: ExaLogLogParams) -> list[int]:
     return exaloglog_registers(hashes, params).tolist()
 
 
-def merge_exaloglog_registers(
+def reference_merge_registers(
     existing: Sequence[int], batch: np.ndarray, d: int
 ) -> np.ndarray:
     """Vectorised Algorithm 5: merge a batch register array into ``existing``.
@@ -142,6 +157,54 @@ def merge_exaloglog_registers(
     if mask.any():
         out[mask] = r2[mask] | ((implicit + (r1[mask] & window)) >> delta21[mask])
     return out
+
+
+class ReferenceBulkBackend:
+    """The pure-NumPy kernels as a backend object (the default)."""
+
+    __slots__ = ()
+    name = "numpy"
+    jit = False
+
+    def fold(self, hashes, params: ExaLogLogParams) -> np.ndarray:
+        return reference_exaloglog_registers(hashes, params)
+
+    def registers_from_pairs(self, index, k, params: ExaLogLogParams) -> np.ndarray:
+        return reference_registers_from_pairs(index, k, params)
+
+    def merge_registers(self, existing, batch, d: int) -> np.ndarray:
+        return reference_merge_registers(existing, batch, d)
+
+    def __repr__(self) -> str:
+        return "ReferenceBulkBackend()"
+
+
+# -- backend dispatch (the public hot-path entry points) ----------------------
+
+
+def _backend():
+    from repro.backends.select import active_backend
+
+    return active_backend()
+
+
+def exaloglog_registers(hashes: np.ndarray, params: ExaLogLogParams) -> np.ndarray:
+    """Fresh ExaLogLog register array for a hash batch (active backend)."""
+    return _backend().fold(hashes, params)
+
+
+def exaloglog_registers_from_pairs(
+    index: np.ndarray, k: np.ndarray, params: ExaLogLogParams
+) -> np.ndarray:
+    """Fold ``(register, update value)`` pairs (active backend)."""
+    return _backend().registers_from_pairs(index, k, params)
+
+
+def merge_exaloglog_registers(
+    existing: Sequence[int], batch: np.ndarray, d: int
+) -> np.ndarray:
+    """Vectorised Algorithm 5 merge (active backend)."""
+    return _backend().merge_registers(existing, batch, d)
 
 
 # -- sparse-mode tokens -------------------------------------------------------

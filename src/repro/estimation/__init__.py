@@ -7,6 +7,7 @@ from repro.estimation.batch import (
     estimate_register_stacks,
     estimate_registers,
     register_coefficients,
+    release_batch_workspaces,
     solve_ml_equations,
 )
 from repro.estimation.likelihood import (
@@ -33,6 +34,7 @@ __all__ = [
     "log_likelihood",
     "log_likelihood_derivative",
     "register_coefficients",
+    "release_batch_workspaces",
     "solve_ml_equation",
     "solve_ml_equation_bisection",
     "solve_ml_equations",

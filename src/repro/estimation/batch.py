@@ -35,6 +35,7 @@ pipeline bit for bit, including ``saturated`` (infinite) and empty rows.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -325,6 +326,37 @@ class _ChunkWorkspace:
         )
 
 
+_WORKSPACE_LOCAL = threading.local()
+
+
+def _chunk_workspace(rows: int, m: int, dtype) -> _ChunkWorkspace:
+    """Thread-cached :class:`_ChunkWorkspace`, reused across calls.
+
+    Query serving solves many batches with the same sketch geometry, so
+    the multi-megabyte scratch buffers are cached per thread (keyed on
+    shape/dtype compatibility) instead of reallocated per
+    :func:`register_coefficients` call. Buffers are trimmed via
+    :meth:`_ChunkWorkspace.views`, so a larger cached capacity serves
+    smaller batches unchanged.
+    """
+    dtype = np.dtype(dtype)
+    cached = getattr(_WORKSPACE_LOCAL, "workspace", None)
+    if (
+        cached is None
+        or cached.m != m
+        or cached.i32.dtype != dtype
+        or cached.capacity < rows
+    ):
+        cached = _ChunkWorkspace(rows, m, dtype)
+        _WORKSPACE_LOCAL.workspace = cached
+    return cached
+
+
+def release_batch_workspaces() -> None:
+    """Drop this thread's cached chunk workspace (frees the buffers)."""
+    _WORKSPACE_LOCAL.workspace = None
+
+
 def _chunk_coefficients(mat, params, plan, alpha_out, beta_t, workspace):
     """Algorithm 3 for one row chunk (cache-resident working set)."""
     d = params.d
@@ -426,7 +458,7 @@ def register_coefficients(
     alpha_i64 = np.empty(k, dtype=np.int64)
     beta_t = np.zeros((EXPONENT_AXIS, k), dtype=np.int64)
     chunk_rows = min(max(1, _CHUNK_ELEMENTS // m), k)
-    workspace = _ChunkWorkspace(chunk_rows, m, mat.dtype)
+    workspace = _chunk_workspace(chunk_rows, m, mat.dtype)
     for start in range(0, k, chunk_rows):
         stop = min(start + chunk_rows, k)
         _chunk_coefficients(

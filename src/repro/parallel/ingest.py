@@ -22,10 +22,14 @@ Two worker transports, chosen by start method:
   (:class:`~repro.core.params.ExaLogLogParams` is a plain frozen
   dataclass), so every start method works.
 
-Pools are created per call: fan-out only pays off for batches far beyond
-one chunk, where the fold dwarfs the pool start-up, and per-call pools
-keep the fork transport coherent (the payload global must be set before
-the fork happens).
+By default batches run on the module-level persistent pool
+(:mod:`repro.parallel.pool`): workers stay alive across calls and hash
+slices travel through shared memory, so the steady-state cost of a
+``workers=`` call is one memcpy into the transport segment. The legacy
+per-call transports below remain for callers that pin an explicit
+``start_method`` (and as the simplest-possible reference for tests): fork
+publishes the hash array in a module global for copy-on-write
+inheritance; spawn/forkserver pickle each slice.
 """
 
 from __future__ import annotations
@@ -88,11 +92,15 @@ class ParallelBulkIngestor:
         Defaults to :data:`~repro.backends.bulk.BULK_CHUNK`; tests shrink
         it to exercise the pool on small batches.
     start_method:
-        ``multiprocessing`` start method; ``None`` picks
-        :func:`preferred_start_method`.
+        ``None`` (default) routes batches through the persistent
+        shared-memory pool. Pinning an explicit method opts back into
+        the legacy per-call pool with that method's transport.
+    pool:
+        The :class:`~repro.parallel.pool.PersistentIngestPool` to use on
+        the pooled path; ``None`` uses the process-wide default.
     """
 
-    __slots__ = ("_chunk", "_params", "_start_method", "_workers")
+    __slots__ = ("_chunk", "_explicit_method", "_params", "_pool", "_workers")
 
     def __init__(
         self,
@@ -100,6 +108,7 @@ class ParallelBulkIngestor:
         workers: int,
         chunk: int = BULK_CHUNK,
         start_method: str | None = None,
+        pool=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -119,7 +128,8 @@ class ParallelBulkIngestor:
         self._params = params
         self._workers = workers
         self._chunk = chunk
-        self._start_method = start_method or preferred_start_method()
+        self._explicit_method = start_method
+        self._pool = pool
 
     @property
     def workers(self) -> int:
@@ -127,7 +137,7 @@ class ParallelBulkIngestor:
 
     @property
     def start_method(self) -> str:
-        return self._start_method
+        return self._explicit_method or preferred_start_method()
 
     def slice_bounds(self, n: int) -> list[tuple[int, int]]:
         """Chunk-aligned ``(start, stop)`` bounds, at most one per worker.
@@ -154,8 +164,15 @@ class ParallelBulkIngestor:
         bounds = self.slice_bounds(len(hashes))
         if len(bounds) <= 1 or self._workers == 1:
             return exaloglog_registers(hashes, self._params)
-        context = multiprocessing.get_context(self._start_method)
-        if self._start_method == "fork":
+        if self._explicit_method is None:
+            from repro.parallel.pool import get_pool
+
+            pool = self._pool if self._pool is not None else get_pool()
+            return pool.fold_registers(
+                hashes, bounds, self._params, workers=self._workers
+            )
+        context = multiprocessing.get_context(self._explicit_method)
+        if self._explicit_method == "fork":
             worker = _fold_fork_bounds
             jobs = [(start, stop, self._params) for start, stop in bounds]
             # Workers capture the payload at fork time (pool creation);
@@ -184,7 +201,7 @@ class ParallelBulkIngestor:
     def __repr__(self) -> str:
         return (
             f"ParallelBulkIngestor({self._params}, workers={self._workers}, "
-            f"chunk={self._chunk}, start_method={self._start_method!r})"
+            f"chunk={self._chunk}, start_method={self.start_method!r})"
         )
 
 
@@ -194,6 +211,9 @@ def parallel_exaloglog_registers(
     workers: int,
     chunk: int = BULK_CHUNK,
     start_method: str | None = None,
+    pool=None,
 ) -> np.ndarray:
     """Functional shorthand for :meth:`ParallelBulkIngestor.registers`."""
-    return ParallelBulkIngestor(params, workers, chunk, start_method).registers(hashes)
+    return ParallelBulkIngestor(
+        params, workers, chunk, start_method, pool=pool
+    ).registers(hashes)

@@ -10,13 +10,16 @@ fed the exact hash sequence the sequential scatter would have fed it —
 partial group states are bit-identical to the single-process path.
 
 Workers return their partial aggregator serialized (``to_bytes`` blobs are
-compact and cheap to pickle); the parent deserializes and merges. Hash
-segments travel like the ingest fan-out's payload: under ``fork`` the
-segment list is published in a module global right before the pool forks,
-so workers inherit it copy-on-write and receive only segment indices;
-under ``spawn``/``forkserver`` each job carries its segments (pickled).
-The worker functions are top-level and their arguments picklable, so
-every ``multiprocessing`` start method works.
+compact and cheap to pickle); the parent deserializes and merges. By
+default hash segments travel through the persistent shared-memory pool
+(:mod:`repro.parallel.pool`) — workers stay alive across calls and read
+the segments zero-copy. Callers that pin an explicit ``start_method`` get
+the legacy per-call transports: under ``fork`` the segment list is
+published in a module global right before the pool forks, so workers
+inherit it copy-on-write and receive only segment indices; under
+``spawn``/``forkserver`` each job carries its segments (pickled). The
+worker functions are top-level and their arguments picklable, so every
+``multiprocessing`` start method works.
 """
 
 from __future__ import annotations
@@ -139,7 +142,13 @@ def parallel_spill_write(
     # Writer ids embed the parent pid so two parallel aggregations
     # spilling into one directory stay distinguishable.
     suffix = f"x{os.getpid():x}"
-    method = start_method or preferred_start_method()
+    if start_method is None:
+        from repro.parallel.pool import get_pool
+
+        return get_pool().spill(
+            directory, partitions, keyed_hashes, shards, suffix, workers=workers
+        )
+    method = start_method
     context = multiprocessing.get_context(method)
     if method == "fork":
         worker = _spill_shard_fork
@@ -197,7 +206,12 @@ def parallel_group_fold(
     if len(shards) == 1:
         segments = [keyed_hashes[i] for i in shards[0]]
         return [DistinctCountAggregator._from_keyed_hashes(config, segments)]
-    method = start_method or preferred_start_method()
+    if start_method is None:
+        from repro.parallel.pool import get_pool
+
+        blobs = get_pool().group_fold(config, keyed_hashes, shards, workers=workers)
+        return [DistinctCountAggregator.from_bytes(blob) for blob in blobs]
+    method = start_method
     context = multiprocessing.get_context(method)
     if method == "fork":
         worker = _build_partial_fork

@@ -11,11 +11,13 @@ import pytest
 from tests.invariants.harness import (
     assert_identical,
     build_bulk,
+    build_fast_backend,
     build_follower,
     build_memmap_registers,
     build_parallel,
     build_scalar,
     build_store,
+    build_warm_pool,
     random_scenario,
     register_bytes,
     rounds,
@@ -34,6 +36,22 @@ def reference(scenario):
 
 def test_bulk_matches_scalar(scenario, reference):
     assert_identical(reference, build_bulk(scenario), "add_hashes vs add_hash")
+
+
+def test_fast_backend_matches_scalar(scenario, reference):
+    assert_identical(
+        reference, build_fast_backend(scenario), "fast backend vs add_hash"
+    )
+
+
+def test_numba_backend_matches_scalar(scenario, reference):
+    from repro.backends import HAVE_NUMBA
+
+    if not HAVE_NUMBA:
+        pytest.skip("numba not installed")
+    assert_identical(
+        reference, build_fast_backend(scenario, "numba"), "numba backend vs add_hash"
+    )
 
 
 def test_store_replay_matches_scalar(scenario, reference, tmp_path):
@@ -105,3 +123,17 @@ def test_parallel_matches_scalar(seed, tmp_path):
     reference = build_scalar(scenario)
     parallel = build_parallel(scenario, workers=2)
     assert register_bytes(reference) == register_bytes(parallel)
+
+
+@pytest.mark.parametrize("seed", rounds(3))
+def test_warm_pool_matches_scalar(seed):
+    """Pre-warmed persistent-pool folds vs the scalar loop.
+
+    The same seeds as the per-call parallel test, so a divergence here
+    but not there isolates the shared-memory transport / worker-reuse
+    layer rather than the rebatching.
+    """
+    scenario = random_scenario(1000 + seed)
+    reference = build_scalar(scenario)
+    warm = build_warm_pool(scenario, workers=2)
+    assert register_bytes(reference) == register_bytes(warm)
