@@ -41,6 +41,7 @@ from repro.setops import (
     jaccard_estimate,
     union_estimate,
 )
+from repro.query import query
 from repro.store import MemmapRegisters, SketchStore, SpilledGroupBy
 from repro.windowed import SlidingWindowDistinctCounter
 
@@ -71,6 +72,7 @@ __all__ = [
     "intersection_estimate",
     "jaccard_estimate",
     "make_params",
+    "query",
     "token_to_hash",
     "union_estimate",
 ]

@@ -108,6 +108,16 @@ class DistinctCountAggregator:
         """The (t, d, p, sparse, seed) tuple shard workers rebuild from."""
         return (self._t, self._d, self._p, self._sparse, self._seed)
 
+    @property
+    def config(self) -> tuple[int, int, int, bool, int]:
+        """The ``(t, d, p, sparse, seed)`` configuration tuple.
+
+        Part of the :class:`repro.query.SketchSource` protocol: two
+        sources with equal configurations hold mergeable, comparable
+        sketches.
+        """
+        return self._config
+
     @classmethod
     def _from_keyed_hashes(
         cls,
@@ -283,6 +293,16 @@ class DistinctCountAggregator:
         sketch = self._groups.get(self._group_key(group))
         return sketch.estimate() if sketch is not None else 0.0
 
+    def group_sketch(self, group: Hashable):
+        """A private copy of one group's sketch (``None`` for unseen groups).
+
+        The :class:`repro.query.SketchSource` selective-read surface:
+        callers may merge the result in place without affecting this
+        aggregator's state.
+        """
+        sketch = self._groups.get(self._group_key(group))
+        return sketch.copy() if sketch is not None else None
+
     def estimates(self) -> dict[bytes, float]:
         """All group estimates, computed in one batched solve.
 
@@ -299,45 +319,20 @@ class DistinctCountAggregator:
             by_group = agg.estimates()               # one vectorised solve
             heaviest = agg.top(10)                   # top-k without full sort
         """
-        if not self._groups:
-            return {}
-        from repro.estimation.batch import batch_estimate_sketches
+        from repro.estimation.batch import batch_estimates_by_key
 
-        keys = list(self._groups)
-        values = batch_estimate_sketches([self._groups[key] for key in keys])
-        return dict(zip(keys, values))
+        return batch_estimates_by_key(self._groups)
 
     def top(self, count: int) -> list[tuple[bytes, float]]:
         """The ``count`` groups with the largest estimates.
 
         Selects via ``np.argpartition`` on the batched estimate vector —
         O(groups) instead of a full sort — with ties broken by insertion
-        order exactly like the previous full-sort implementation.
+        order exactly like a full stable descending sort.
         """
-        if count <= 0:
-            return []
-        try:
-            import numpy as np
+        from repro.estimation.batch import batch_top
 
-            from repro.estimation.batch import batch_estimate_sketches
-        except ImportError:  # pragma: no cover - numpy is a hard dependency
-            return self._top_scalar(count)
-        keys = list(self._groups)
-        values = np.asarray(
-            batch_estimate_sketches([self._groups[key] for key in keys])
-        )
-        total = len(keys)
-        if count >= total:
-            order = np.argsort(-values, kind="stable")
-        else:
-            # k-th largest value, then all strictly above it plus the
-            # earliest-inserted ties — matching stable descending sort.
-            threshold = values[np.argpartition(-values, count - 1)[:count]].min()
-            above = np.flatnonzero(values > threshold)
-            ties = np.flatnonzero(values == threshold)[: count - len(above)]
-            chosen = np.concatenate((above, ties))
-            order = chosen[np.argsort(-values[chosen], kind="stable")]
-        return [(keys[i], float(values[i])) for i in order.tolist()]
+        return batch_top(self._groups, count)
 
     def _top_scalar(self, count: int) -> list[tuple[bytes, float]]:
         """Scalar top-k via ``heapq.nlargest`` (same ranking semantics).

@@ -4,6 +4,8 @@ from repro.estimation.batch import (
     BatchCoefficients,
     BatchMLSolution,
     batch_estimate_sketches,
+    batch_estimates_by_key,
+    batch_top,
     estimate_register_stacks,
     estimate_registers,
     register_coefficients,
@@ -28,6 +30,8 @@ __all__ = [
     "BatchMLSolution",
     "MLSolution",
     "batch_estimate_sketches",
+    "batch_estimates_by_key",
+    "batch_top",
     "estimate_register_stacks",
     "estimate_registers",
     "f_transformed",

@@ -730,3 +730,44 @@ def batch_estimate_sketches(sketches, bias_correction: bool = True) -> list[floa
     for position, i in enumerate(out_index.tolist()):
         results[i] = float(estimates[position])
     return results
+
+
+def batch_estimates_by_key(sketches) -> "dict[bytes, float]":
+    """All estimates of a keyed sketch mapping in one simultaneous solve.
+
+    The shared implementation behind every keyed read surface
+    (:meth:`repro.aggregate.DistinctCountAggregator.estimates`, the
+    store readers, the windowed adapter): stack every sketch through
+    :func:`batch_estimate_sketches` and zip the estimates back onto the
+    mapping's keys, preserving its iteration order.
+    """
+    if not sketches:
+        return {}
+    keys = list(sketches)
+    values = batch_estimate_sketches([sketches[key] for key in keys])
+    return dict(zip(keys, values))
+
+
+def batch_top(sketches, count: int) -> "list[tuple[bytes, float]]":
+    """The ``count`` largest-estimate entries of a keyed sketch mapping.
+
+    Selects via ``np.argpartition`` on the batched estimate vector —
+    O(groups) instead of a full sort — with ties broken by the mapping's
+    iteration order, exactly like a stable descending sort prefix.
+    """
+    if count <= 0 or not sketches:
+        return []
+    keys = list(sketches)
+    values = np.asarray(batch_estimate_sketches([sketches[key] for key in keys]))
+    total = len(keys)
+    if count >= total:
+        order = np.argsort(-values, kind="stable")
+    else:
+        # k-th largest value, then all strictly above it plus the
+        # earliest-iterated ties — matching stable descending sort.
+        threshold = values[np.argpartition(-values, count - 1)[:count]].min()
+        above = np.flatnonzero(values > threshold)
+        ties = np.flatnonzero(values == threshold)[: count - len(above)]
+        chosen = np.concatenate((above, ties))
+        order = chosen[np.argsort(-values[chosen], kind="stable")]
+    return [(keys[i], float(values[i])) for i in order.tolist()]

@@ -1,0 +1,152 @@
+"""Physical access-path selection for one plan over one set of sources.
+
+The logical plan says *which* groups a query touches; each source offers
+up to three ways to fetch them, with very different costs:
+
+* **selective** (``group_sketch`` per key) — WAL-index replay on a
+  :class:`~repro.store.SnapshotReader`, a single-partition read on a
+  :class:`~repro.store.SpilledGroupBy`, a dict lookup elsewhere. Wins
+  when the filter names an explicit, small key set.
+* **scan** — materialise every group of an in-memory-backed source and
+  filter as they stream by. Wins for prefix/predicate filters and full
+  scans, where per-key selective fetches would re-pay their fixed cost.
+* **partitions** — iterate a spilled source partition by partition
+  (:meth:`~repro.store.SpilledGroupBy.partition_aggregators`), keeping
+  memory bounded at one partition while filtering inside each. The only
+  sensible non-selective path for spill-backed sources, where a naive
+  per-key ``group_sketch`` loop would re-read a partition per group.
+
+:func:`access_path` makes that choice per ``Scan``; :func:`explain`
+renders the decisions of a whole plan for humans (the CLI's
+``--explain``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.plan import (
+    Estimate,
+    Filter,
+    PlanNode,
+    Scan,
+    SetOp,
+    TopK,
+    Window,
+)
+
+#: Above this many explicit keys a scan usually beats per-key selective
+#: fetches on sources whose selective path re-reads files (reader WAL
+#: replay); dict-backed sources stay selective at any count.
+SELECTIVE_KEY_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """How the executor should materialise one ``Scan``'s groups."""
+
+    kind: str  # "selective" | "scan" | "partitions"
+    keys: "tuple[bytes, ...]" = field(default=())
+    reason: str = ""
+
+
+def is_partitioned(source) -> bool:
+    """True for spill-style sources that stream partition aggregators."""
+    return hasattr(source, "partition_aggregators")
+
+
+def has_cheap_selective(source) -> bool:
+    """True when ``group_sketch`` is an in-memory lookup, not file replay.
+
+    A :class:`~repro.store.SnapshotReader` rebuilds a group by selective
+    WAL-index replay and a spill re-reads the group's partition; every
+    other source answers from a dict.
+    """
+    return not (
+        hasattr(source, "_group_sketch_selective")
+        or hasattr(source, "partition_aggregators")
+    )
+
+
+def access_path(source, filter_node: "Filter | None" = None) -> AccessPath:
+    """Choose the physical access path for one scan of ``source``.
+
+    An explicit key filter goes selective (each layer's cheapest
+    point-read) unless the key set is large and the source's selective
+    path re-reads files, in which case one scan amortises better. Spill
+    sources without an explicit key set iterate partition by partition;
+    everything else scans its materialised view.
+    """
+    keys = filter_node.keys if filter_node is not None else None
+    if keys is not None:
+        if has_cheap_selective(source) or len(keys) <= SELECTIVE_KEY_LIMIT:
+            return AccessPath(
+                "selective",
+                keys=keys,
+                reason=f"{len(keys)} explicit key(s) via group_sketch",
+            )
+        # A reader's selective path replays WAL records per key; past the
+        # limit the single full scan it already materialised is cheaper.
+        return AccessPath(
+            "scan",
+            reason=f"{len(keys)} keys exceed the selective limit "
+            f"({SELECTIVE_KEY_LIMIT}); one scan amortises better",
+        )
+    if is_partitioned(source):
+        return AccessPath(
+            "partitions",
+            reason="spilled source: partition-at-a-time merge keeps memory "
+            "bounded while filtering inside each partition",
+        )
+    return AccessPath("scan", reason="materialised view scan")
+
+
+def _describe_source(source) -> str:
+    name = type(source).__name__
+    inner = getattr(source, "source", None)
+    if inner is not None and not callable(inner):
+        name += f"[{type(inner).__name__}]"
+    return name
+
+
+def explain(plan: PlanNode, sources: "dict[str, object]") -> "list[str]":
+    """Human-readable physical plan, one line per node (indent = depth)."""
+    lines: "list[str]" = []
+
+    def walk(node: PlanNode, depth: int, pending_filter: "Filter | None") -> None:
+        pad = "  " * depth
+        if isinstance(node, Scan):
+            source = sources[node.source]
+            path = access_path(source, pending_filter)
+            lines.append(
+                f"{pad}Scan({node.source}: {_describe_source(source)}) "
+                f"-> {path.kind} ({path.reason})"
+            )
+        elif isinstance(node, Filter):
+            if node.keys is not None:
+                detail = f"keys={[k.decode('utf-8', 'replace') for k in node.keys]}"
+            elif node.prefix is not None:
+                detail = f"prefix={node.prefix.decode('utf-8', 'replace')!r}"
+            else:
+                detail = "predicate=<callable>"
+            lines.append(f"{pad}Filter({detail})")
+            walk(node.child, depth + 1, node if node.keys is not None else None)
+        elif isinstance(node, Window):
+            anchor = "now" if node.end is None else f"end={node.end}"
+            lines.append(f"{pad}Window(duration={node.duration}, {anchor})")
+            walk(node.child, depth + 1, None)
+        elif isinstance(node, SetOp):
+            lines.append(f"{pad}SetOp({node.op})")
+            walk(node.left, depth + 1, None)
+            walk(node.right, depth + 1, None)
+        elif isinstance(node, TopK):
+            lines.append(f"{pad}TopK({node.count})")
+            walk(node.child, depth + 1, None)
+        elif isinstance(node, Estimate):
+            lines.append(f"{pad}Estimate")
+            walk(node.child, depth + 1, None)
+        else:
+            lines.append(f"{pad}{node!r}")
+
+    walk(plan, 0, None)
+    return lines

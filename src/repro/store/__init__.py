@@ -29,7 +29,8 @@ mergeable, serializable sketch state — operational:
 Entry points elsewhere: ``DistinctCountAggregator.add_batch(spill=...)``,
 ``SlidingWindowDistinctCounter(store=...)`` (buckets retire durably on
 eviction), and the ``python -m repro.store`` CLI
-(ingest/query/compact/serve/replicate/read-estimate).
+(ingest/query/compact/serve/replicate) — ``query`` speaks the
+:mod:`repro.query` dialect over the store or a lock-free reader.
 """
 
 from repro.store.reader import RefreshResult, SnapshotReader

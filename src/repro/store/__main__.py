@@ -10,17 +10,15 @@ Commands
     writes, before any clean shutdown — the honest half of a
     crash-recovery drill.
 ``query``
-    Print group estimates; ``--expect N --tolerance F`` turns it into a
-    check (exit 1 on miss) for smoke tests.
-``estimate-all``
-    Batched estimates for every group: one simultaneous Newton solve
-    across the whole store, ``--top N`` for argpartition top-k.
-``read-estimate``
-    Like ``query``, but through a lock-free
-    :class:`~repro.store.reader.SnapshotReader`: strictly read-only
-    (never truncates a torn WAL tail), safe against a live writer.
-    ``--selective`` answers a single group via the WAL index instead of
-    a full-log replay.
+    Run one :mod:`repro.query` dialect query over the store, e.g.
+    ``query /tmp/s "top 10 where key startswith 'country:'"`` (default
+    query: ``estimate all``). ``--reader`` answers through a lock-free
+    :class:`~repro.store.reader.SnapshotReader` instead — strictly
+    read-only (never truncates a torn WAL tail), safe against a live
+    writer, and single-key filters go through selective WAL-index
+    replay (``--explain`` shows the chosen access path). ``--expect N
+    --tolerance F`` turns a single-row result into a check (exit 1 on
+    miss) for smoke tests.
 ``serve``
     A long-running query process: open a reader, refresh on an
     interval, report the durable horizon (and optionally the top-k
@@ -38,7 +36,7 @@ Commands
 Example drill::
 
     python -m repro.store ingest /tmp/s --group demo --count 50000 --crash
-    python -m repro.store query /tmp/s --group demo --expect 50000 --tolerance 0.2
+    python -m repro.store query /tmp/s "estimate 'demo'" --expect 50000 --tolerance 0.2
 """
 
 from __future__ import annotations
@@ -90,43 +88,40 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"os._exit({CRASH_EXIT_CODE}) after ingest, skipping clean shutdown",
     )
 
-    query = commands.add_parser("query", help="print estimates / verify one group")
+    query = commands.add_parser(
+        "query", help="run a repro.query dialect query over the store"
+    )
     _add_store_arguments(query)
-    query.add_argument("--group", help="single group to query (default: all)")
-    query.add_argument("--top", type=int, help="show only the TOP largest groups")
-    query.add_argument("--expect", type=float, help="expected distinct count")
     query.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.1,
-        help="allowed relative error against --expect (default 0.1)",
+        "text",
+        nargs="?",
+        default="estimate all",
+        help="dialect query, e.g. \"top 10 where key startswith 'country:'\" "
+        '(default: "estimate all")',
     )
-
-    estimate_all = commands.add_parser(
-        "estimate-all",
-        help="batched estimates for every group (one simultaneous solve)",
-    )
-    _add_store_arguments(estimate_all)
-    estimate_all.add_argument(
-        "--top",
-        type=int,
-        help="show only the TOP largest groups (argpartition selection)",
-    )
-
-    read_estimate = commands.add_parser(
-        "read-estimate",
-        help="read-only estimates via a lock-free SnapshotReader",
-    )
-    _add_store_arguments(read_estimate)
-    read_estimate.add_argument("--group", help="single group to query (default: all)")
-    read_estimate.add_argument(
-        "--selective",
+    query.add_argument(
+        "--reader",
         action="store_true",
-        help="single-group WAL-index replay instead of the full view",
+        help="answer through a lock-free read-only SnapshotReader "
+        "(safe against a live writer; single-key filters use selective "
+        "WAL-index replay)",
     )
-    read_estimate.add_argument("--top", type=int, help="show only the TOP largest groups")
-    read_estimate.add_argument("--expect", type=float, help="expected distinct count")
-    read_estimate.add_argument(
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the physical plan (chosen access paths) before the rows",
+    )
+    query.add_argument(
+        "--now",
+        type=float,
+        help="time anchor for 'window' clauses without an explicit 'ending'",
+    )
+    query.add_argument(
+        "--expect",
+        type=float,
+        help="expected value of a single-row result (exit 1 on miss)",
+    )
+    query.add_argument(
         "--tolerance",
         type=float,
         default=0.1,
@@ -219,77 +214,45 @@ def _command_ingest(arguments: argparse.Namespace) -> int:
 
 
 def _command_query(arguments: argparse.Namespace) -> int:
-    store = SketchStore.open(arguments.directory)
-    try:
-        if arguments.group is not None:
-            estimate = store.estimate(arguments.group)
-            print(f"{arguments.group}\t{estimate:.1f}")
-            if arguments.expect is not None:
-                error = abs(estimate / arguments.expect - 1.0)
-                status = "ok" if error <= arguments.tolerance else "FAIL"
-                print(
-                    f"expected {arguments.expect:.0f}, relative error "
-                    f"{error:.4f} (tolerance {arguments.tolerance}) -> {status}"
-                )
-                return 0 if status == "ok" else 1
-        else:
-            ranked = sorted(store.estimates().items(), key=lambda kv: -kv[1])
-            if arguments.top is not None:
-                ranked = ranked[: arguments.top]
-            for key, estimate in ranked:
-                print(f"{DistinctCountAggregator.decode_key(key)}\t{estimate:.1f}")
-        return 0
-    finally:
-        store.close()
+    """One dialect query, planned and executed by :mod:`repro.query`.
 
-
-def _command_estimate_all(arguments: argparse.Namespace) -> int:
-    """All group estimates through the batched query path.
-
-    Unlike ``query`` (which sorts every estimate), this routes through
-    ``DistinctCountAggregator.estimates()``/``top()``: one stacked
-    coefficient matrix and a single simultaneous Newton solve across all
-    groups, with optional argpartition top-k selection.
+    The store (or reader, with ``--reader``) binds the plan's default
+    scan; every estimate resolves through the batched one-solve path.
     """
-    with SketchStore.open(arguments.directory) as store:
-        aggregator = store.aggregator
-        if arguments.top is not None:
-            rows = aggregator.top(arguments.top)
-        else:
-            rows = list(aggregator.estimates().items())
-        for key, estimate in rows:
+    from repro.query import DEFAULT_SOURCE, ParseError, execute, explain, parse
+
+    try:
+        plan = parse(arguments.text)
+    except ParseError as error:
+        print(f"query: {error}", file=sys.stderr)
+        return 2
+    opener = SnapshotReader.open if arguments.reader else SketchStore.open
+    with opener(arguments.directory) as source:
+        if arguments.explain:
+            for line in explain(plan, {DEFAULT_SOURCE: source}):
+                print(line)
+        result = execute(plan, source, now=arguments.now)
+        for key, estimate in result.rows:
             print(f"{DistinctCountAggregator.decode_key(key)}\t{estimate:.1f}")
-    return 0
-
-
-def _command_read_estimate(arguments: argparse.Namespace) -> int:
-    """Estimates through the concurrent-reader path (never mutates)."""
-    with SnapshotReader.open(arguments.directory) as reader:
-        if arguments.group is not None:
-            if arguments.selective:
-                estimate = reader.estimate_group(arguments.group)
-            else:
-                estimate = reader.estimate(arguments.group)
-            print(f"{arguments.group}\t{estimate:.1f}")
+        if arguments.reader:
             print(
-                f"generation {reader.generation}, durable LSN {reader.durable_lsn}"
+                f"generation {source.generation}, durable LSN {source.durable_lsn}"
             )
-            if arguments.expect is not None:
-                error = abs(estimate / arguments.expect - 1.0)
-                status = "ok" if error <= arguments.tolerance else "FAIL"
+        if arguments.expect is not None:
+            if len(result.rows) != 1:
                 print(
-                    f"expected {arguments.expect:.0f}, relative error "
-                    f"{error:.4f} (tolerance {arguments.tolerance}) -> {status}"
+                    f"query: --expect needs a single-row result, got "
+                    f"{len(result.rows)} rows",
+                    file=sys.stderr,
                 )
-                return 0 if status == "ok" else 1
-            return 0
-        if arguments.top is not None:
-            rows = reader.top(arguments.top)
-        else:
-            rows = list(reader.estimates().items())
-        for key, estimate in rows:
-            print(f"{DistinctCountAggregator.decode_key(key)}\t{estimate:.1f}")
-        print(f"generation {reader.generation}, durable LSN {reader.durable_lsn}")
+                return 2
+            error = abs(result.value / arguments.expect - 1.0)
+            status = "ok" if error <= arguments.tolerance else "FAIL"
+            print(
+                f"expected {arguments.expect:.0f}, relative error "
+                f"{error:.4f} (tolerance {arguments.tolerance}) -> {status}"
+            )
+            return 0 if status == "ok" else 1
     return 0
 
 
@@ -369,8 +332,6 @@ def main(argv: "list[str] | None" = None) -> int:
     handler = {
         "ingest": _command_ingest,
         "query": _command_query,
-        "estimate-all": _command_estimate_all,
-        "read-estimate": _command_read_estimate,
         "serve": _command_serve,
         "replicate": _command_replicate,
         "compact": _command_compact,

@@ -322,6 +322,11 @@ class SnapshotReader:
         """The materialised view (snapshot + applied WAL tail)."""
         return self._aggregator
 
+    @property
+    def config(self) -> tuple[int, int, int, bool, int]:
+        """The ``(t, d, p, sparse, seed)`` configuration tuple."""
+        return self._aggregator.config
+
     def __len__(self) -> int:
         return len(self._aggregator)
 

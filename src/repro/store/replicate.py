@@ -156,6 +156,15 @@ class FollowerStore:
     def top(self, count: int) -> list[tuple[bytes, float]]:
         return self.aggregator.top(count)
 
+    def group_sketch(self, group: Hashable):
+        """A private copy of one group's sketch (``None`` for unseen groups)."""
+        return self.aggregator.group_sketch(group)
+
+    @property
+    def config(self) -> tuple[int, int, int, bool, int]:
+        """The ``(t, d, p, sparse, seed)`` configuration tuple."""
+        return self.aggregator.config
+
     # -- replication protocol --------------------------------------------------
 
     def install_snapshot(self, data: bytes) -> None:

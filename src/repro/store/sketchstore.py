@@ -543,6 +543,11 @@ class SketchStore:
         return self._aggregator
 
     @property
+    def config(self) -> tuple[int, int, int, bool, int]:
+        """The ``(t, d, p, sparse, seed)`` configuration tuple."""
+        return self._aggregator.config
+
+    @property
     def directory(self) -> pathlib.Path:
         return self._directory
 
@@ -589,6 +594,14 @@ class SketchStore:
 
     def estimates(self) -> dict[bytes, float]:
         return self._aggregator.estimates()
+
+    def top(self, count: int) -> list[tuple[bytes, float]]:
+        """The ``count`` groups with the largest estimates (argpartition)."""
+        return self._aggregator.top(count)
+
+    def group_sketch(self, group: Hashable):
+        """A private copy of one group's sketch (``None`` for unseen groups)."""
+        return self._aggregator.group_sketch(group)
 
     # -- maintenance ----------------------------------------------------------
 

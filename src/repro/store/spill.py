@@ -443,12 +443,27 @@ class SpilledGroupBy:
 
     def estimate(self, group: Hashable) -> float:
         """One group's estimate (reads only that group's partition)."""
+        sketch = self.group_sketch(group)
+        return sketch.estimate() if sketch is not None else 0.0
+
+    def group_sketch(self, group: Hashable):
+        """One group's sketch, rebuilt from only that group's partition.
+
+        The :class:`repro.query.SketchSource` selective-read surface of
+        the spilled path: a group lives entirely inside one partition, so
+        the rebuild reads ``1/partitions`` of the spill files. Returns
+        ``None`` for unseen groups.
+        """
         key = DistinctCountAggregator._group_key(group)
         if self._writer is not None:
             self._writer.flush()
         partial = self._partition_aggregator(_partition_of(key, self._partitions))
-        sketch = partial._groups.get(key)
-        return sketch.estimate() if sketch is not None else 0.0
+        return partial._groups.get(key)
+
+    def groups(self) -> Iterator[bytes]:
+        """All observed group keys, streamed partition by partition."""
+        for aggregator in self.partition_aggregators():
+            yield from aggregator.groups()
 
     def group_count(self) -> int:
         """Total distinct groups across all partitions (streamed)."""

@@ -100,6 +100,18 @@ class SlidingWindowDistinctCounter:
         return self._bucket_width * self._buckets
 
     @property
+    def config(self) -> tuple[int, int, int, bool, int]:
+        """``(t, d, p, sparse, seed)`` of the bucket sketches.
+
+        Buckets are always dense :class:`~repro.core.exaloglog.ExaLogLog`
+        instances, so the sparse flag is ``False``; the tuple matches the
+        attached store's configuration when one is present (checked in
+        ``__init__`` up to the sparse flag, which stores may set freely —
+        dense and sparse sketches of one parameterisation merge exactly).
+        """
+        return (self._t, self._d, self._p, False, self._seed)
+
+    @property
     def bucket_width(self) -> float:
         return self._bucket_width
 
@@ -258,14 +270,23 @@ class SlidingWindowDistinctCounter:
         return merged.estimate() if merged is not None else 0.0
 
     def estimate_per_bucket(self, now: float) -> list[tuple[int, float]]:
-        """(bucket index, estimate) for each live bucket in the window."""
+        """(bucket index, estimate) for each live bucket in the window.
+
+        All bucket sketches resolve in one simultaneous Newton solve
+        (:func:`repro.estimation.batch.batch_estimate_sketches`),
+        bit-identical to estimating each bucket on its own.
+        """
+        from repro.estimation.batch import batch_estimate_sketches
+
         current = self._bucket_of(now)
         lowest = current - self._buckets + 1
-        return [
-            (bucket, sketch.estimate())
+        live = [
+            (bucket, sketch)
             for bucket, sketch in self._sketches.items()
             if lowest <= bucket <= current
         ]
+        values = batch_estimate_sketches([sketch for _, sketch in live])
+        return [(bucket, value) for (bucket, _), value in zip(live, values)]
 
     def __repr__(self) -> str:
         return (

@@ -95,6 +95,68 @@ class TestContainment:
         assert containment_estimate(a, b) < 0.2
 
 
+class TestSparseOperands:
+    def test_sparse_dense_mix(self):
+        from repro.core.sparse import SparseExaLogLog
+
+        sparse = SparseExaLogLog(2, 20, 10)
+        for i in range(20):
+            sparse.add(f"k{i}")
+        dense = sketch_of((f"k{i}" for i in range(10, 30)), p=10)
+        assert union_estimate(sparse, dense) == pytest.approx(30, abs=2)
+        assert union_estimate(dense, sparse) == union_estimate(sparse, dense)
+        assert intersection_estimate(sparse, dense) == pytest.approx(10, abs=4)
+
+    def test_sparse_sparse(self):
+        from repro.core.sparse import SparseExaLogLog
+
+        a = SparseExaLogLog(2, 20, 10)
+        b = SparseExaLogLog(2, 20, 10)
+        for i in range(15):
+            a.add(f"k{i}")
+            b.add(f"k{i + 5}")
+        assert union_estimate(a, b) == pytest.approx(20, abs=2)
+        assert jaccard_estimate(a, b) == pytest.approx(0.5, abs=0.2)
+
+
+class TestSingleMergeBatchedSolve:
+    """The refactor's contract: one union merge, one three-row solve."""
+
+    def test_one_merge_per_operation(self, overlapping, monkeypatch):
+        a, b = overlapping
+        merges = []
+        original = ExaLogLog.merge
+
+        def counting_merge(self, other):
+            merges.append(1)
+            return original(self, other)
+
+        monkeypatch.setattr(ExaLogLog, "merge", counting_merge)
+        for operation in (
+            intersection_estimate,
+            difference_estimate,
+            jaccard_estimate,
+            containment_estimate,
+        ):
+            merges.clear()
+            operation(a, b)
+            assert len(merges) == 1, f"{operation.__name__} merged {len(merges)}x"
+
+    def test_batched_solve_is_bit_identical_to_scalar(self, overlapping):
+        """Inclusion-exclusion from the batched triple equals the same
+        arithmetic on three scalar ``estimate()`` calls, bit for bit."""
+        from repro.setops import union_sketch
+
+        a, b = overlapping
+        size_a, size_b = a.estimate(), b.estimate()
+        size_union = union_sketch(a, b).estimate()
+        assert intersection_estimate(a, b) == max(
+            0.0, size_a + size_b - size_union
+        )
+        assert difference_estimate(a, b) == max(0.0, size_union - size_b)
+        assert union_estimate(a, b) == size_union
+
+
 class TestValidation:
     def test_different_t_rejected(self):
         with pytest.raises(ValueError):

@@ -70,6 +70,35 @@ class TestQueries:
         assert breakdown[0] == pytest.approx(300, rel=0.15)
         assert breakdown[1] == pytest.approx(600, rel=0.15)
 
+    def test_per_bucket_breakdown_is_bit_identical_to_scalar(self):
+        """The batched per-bucket solve equals per-sketch ``estimate()``.
+
+        ``estimate_per_bucket`` routes every live bucket through one
+        simultaneous Newton solve; the floats must be *bit*-identical to
+        estimating each bucket sketch on its own, not just close.
+        """
+        import numpy as np
+
+        rng = np.random.Generator(np.random.PCG64(21))
+        counter = SlidingWindowDistinctCounter(window=60.0, buckets=6, p=8)
+        for at in (1.0, 11.0, 21.0, 31.0, 41.0, 51.0):
+            size = int(rng.integers(1, 2000))
+            counter.add_batch(
+                rng.integers(0, 1 << 62, size=size, dtype=np.int64), at=at
+            )
+        batched = counter.estimate_per_bucket(now=51.0)
+        assert len(batched) == counter.active_buckets
+        for bucket, value in batched:
+            assert value == counter._sketches[bucket].estimate(), (
+                f"bucket {bucket}: batched estimate is not bit-identical"
+            )
+
+    def test_per_bucket_empty_window(self):
+        counter = SlidingWindowDistinctCounter(window=30.0, buckets=3, p=8)
+        assert counter.estimate_per_bucket(now=10.0) == []
+        counter.add("x", at=5.0)
+        assert counter.estimate_per_bucket(now=1000.0) == []  # all expired
+
     def test_out_of_order_arrival(self):
         counter = SlidingWindowDistinctCounter(window=30.0, buckets=3, p=10)
         counter.add("late", at=25.0)

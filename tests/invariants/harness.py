@@ -298,6 +298,111 @@ def build_memmap_registers(scenario: Scenario, directory) -> dict[str, np.ndarra
     return arrays
 
 
+# -- query plane ---------------------------------------------------------------
+
+
+def build_query_plane_sources(scenario: Scenario, directory):
+    """Every read surface over one identical hash stream, as sources.
+
+    Replays the scenario's *hash* steps (the one record kind every layer
+    ingests natively — sketch merges and compactions are covered by the
+    ingest-path builders above) into five independently-built
+    :class:`repro.query.SketchSource` layers:
+
+    ``aggregator``
+        In-memory :class:`~repro.aggregate.DistinctCountAggregator`.
+    ``store``
+        Live :class:`~repro.store.SketchStore` writer (WAL + snapshots).
+    ``reader``
+        Lock-free :class:`~repro.store.SnapshotReader` over the live
+        writer's directory.
+    ``follower``
+        WAL-shipped :class:`~repro.store.FollowerStore` replica.
+    ``spill``
+        Hash-partitioned external :class:`~repro.store.SpilledGroupBy`.
+
+    Returns ``(sources, close)``; call ``close()`` when done.
+    """
+    from repro.store import (
+        FollowerStore,
+        SketchStore,
+        SnapshotReader,
+        SpilledGroupBy,
+        WalShipper,
+    )
+
+    t, d, p, sparse, seed = scenario.config
+    steps = scenario.hash_steps()
+
+    aggregator = DistinctCountAggregator(*scenario.config)
+    store = SketchStore.open(
+        directory / "store", t=t, d=d, p=p, sparse=sparse, seed=seed
+    )
+    spill = SpilledGroupBy(
+        directory / "spill", t=t, d=d, p=p, sparse=sparse, seed=seed, partitions=4
+    )
+    for step in steps:
+        key = DistinctCountAggregator._group_key(step.group)
+        sketch = aggregator._groups.get(key)
+        if sketch is None:
+            sketch = aggregator._new_sketch()
+            aggregator._groups[key] = sketch
+        sketch.add_hashes(step.hashes)
+        store.append_hashes(step.group, step.hashes)
+        spill.write_segments([(key, step.hashes)])
+
+    reader = SnapshotReader.open(directory / "store")
+    follower = FollowerStore.open(directory / "follower")
+    WalShipper(directory / "store").sync(follower)
+    assert follower.applied_lsn == store.durable_lsn
+
+    sources = {
+        "aggregator": aggregator,
+        "store": store,
+        "reader": reader,
+        "follower": follower,
+        "spill": spill,
+    }
+
+    def close() -> None:
+        reader.close()
+        follower.close()
+        store.close()
+        spill.close()
+
+    return sources, close
+
+
+def build_query_plans(scenario: Scenario) -> dict:
+    """Representative logical plans for one scenario (source-agnostic).
+
+    Keys name the shape; every plan references only the default scan, so
+    the same tree executes over each layer of
+    :func:`build_query_plane_sources` and must return identical rows.
+    """
+    from repro.query import Estimate, Filter, Scan, SetOp, TopK
+
+    groups = scenario.groups
+    half = max(1, len(groups) // 2)
+    plans = {
+        "estimate-all": Estimate(Scan()),
+        "top-3": TopK(Scan(), 3),
+        "filter-keys": Estimate(Filter(Scan(), keys=tuple(groups[:half]))),
+        "filter-prefix": TopK(Filter(Scan(), prefix="g"), 2),
+        "union-halves": SetOp(
+            "union",
+            Filter(Scan(), keys=tuple(groups[:half])),
+            Filter(Scan(), keys=tuple(groups[half:]) or tuple(groups[:1])),
+        ),
+        "intersect-self": SetOp(
+            "intersect",
+            Filter(Scan(), keys=tuple(groups[:half])),
+            Filter(Scan(), keys=tuple(groups[:half])),
+        ),
+    }
+    return plans
+
+
 # -- comparisons ---------------------------------------------------------------
 
 

@@ -1,0 +1,123 @@
+"""The string dialect: tokenizer, grammar, and error reporting."""
+
+import pytest
+
+from repro.query import (
+    Estimate,
+    Filter,
+    ParseError,
+    Scan,
+    SetOp,
+    TopK,
+    Window,
+    parse,
+)
+
+
+class TestActions:
+    def test_top(self):
+        assert parse("top 10") == TopK(Scan(), 10)
+
+    def test_estimate_all(self):
+        assert parse("estimate all") == Estimate(Scan())
+        assert parse("estimate") == Estimate(Scan())
+
+    def test_estimate_single_key(self):
+        assert parse("estimate 'demo'") == Estimate(Filter(Scan(), keys=("demo",)))
+
+    def test_no_action_is_bare_expression(self):
+        assert parse("") == Scan()
+        assert parse("from follower") == Scan("follower")
+
+
+class TestWhere:
+    def test_equals(self):
+        expected = Filter(Scan(), keys=("a",))
+        assert parse("where key = 'a'") == expected
+        assert parse("where key == 'a'") == expected
+
+    def test_startswith(self):
+        assert parse("top 10 where key startswith 'country:'") == TopK(
+            Filter(Scan(), prefix="country:"), 10
+        )
+
+    def test_in_list(self):
+        assert parse("where key in ('a', 'b', 'c')") == Filter(
+            Scan(), keys=("a", "b", "c")
+        )
+
+    def test_double_quotes(self):
+        assert parse('where key = "a"') == Filter(Scan(), keys=("a",))
+
+
+class TestWindow:
+    def test_duration_units(self):
+        assert parse("window 90s") == Window(Scan(), 90.0)
+        assert parse("window 15m") == Window(Scan(), 900.0)
+        assert parse("window 1h") == Window(Scan(), 3600.0)
+        assert parse("window 2d") == Window(Scan(), 172800.0)
+        assert parse("window 42") == Window(Scan(), 42.0)
+
+    def test_ending_and_bucket(self):
+        assert parse("window 1h ending 7200") == Window(Scan(), 3600.0, end=7200.0)
+        assert parse("window 1h bucket 10m") == Window(
+            Scan(), 3600.0, bucket_width=600.0
+        )
+
+    def test_window_composes_after_where(self):
+        plan = parse("top 10 where key startswith 'bucket:' window 1h")
+        assert plan == TopK(
+            Window(Filter(Scan(), prefix="bucket:"), 3600.0), 10
+        )
+
+
+class TestSetOps:
+    def test_named_sources(self):
+        assert parse("from today intersect from lastweek") == SetOp(
+            "intersect", Scan("today"), Scan("lastweek")
+        )
+
+    def test_left_associative_unions(self):
+        assert parse("from a union from b union from c") == SetOp(
+            "union", SetOp("union", Scan("a"), Scan("b")), Scan("c")
+        )
+
+    def test_parenthesised(self):
+        assert parse("top 3 (from a union from b)") == TopK(
+            SetOp("union", Scan("a"), Scan("b")), 3
+        )
+
+    def test_scalar_setop_cannot_chain(self):
+        with pytest.raises(ParseError, match="scalar"):
+            parse("from a intersect from b union from c")
+
+    def test_filters_on_operands(self):
+        assert parse("where key = 'a' diff where key = 'b'") == SetOp(
+            "diff", Filter(Scan(), keys=("a",)), Filter(Scan(), keys=("b",))
+        )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "top banana",
+            "top 1.5",
+            "where key",
+            "where key like 'x'",
+            "where key in ('a'",
+            "window",
+            "window abc",
+            "top 10 garbage trailing",
+            "estimate all )",
+            "!!!",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_keywords_case_insensitive(self):
+        assert parse("TOP 5 WHERE KEY STARTSWITH 'g'") == TopK(
+            Filter(Scan(), prefix="g"), 5
+        )

@@ -25,7 +25,7 @@ class TestInProcess:
     def test_ingest_then_query(self, tmp_path, capsys):
         directory = str(tmp_path / "s")
         assert main(["ingest", directory, "--group", "g", "--items", "a", "b", "a"]) == 0
-        assert main(["query", directory, "--group", "g"]) == 0
+        assert main(["query", directory, "estimate 'g'"]) == 0
         output = capsys.readouterr().out
         assert "g\t" in output
 
@@ -33,11 +33,11 @@ class TestInProcess:
         directory = str(tmp_path / "s")
         main(["ingest", directory, "--group", "g", "--count", "20000"])
         assert (
-            main(["query", directory, "--group", "g", "--expect", "20000", "--tolerance", "0.2"])
+            main(["query", directory, "estimate 'g'", "--expect", "20000", "--tolerance", "0.2"])
             == 0
         )
         assert (
-            main(["query", directory, "--group", "g", "--expect", "1000", "--tolerance", "0.2"])
+            main(["query", directory, "estimate 'g'", "--expect", "1000", "--tolerance", "0.2"])
             == 1
         )
 
@@ -49,34 +49,85 @@ class TestInProcess:
         output = capsys.readouterr().out
         assert "generation:  1" in output
 
-    def test_estimate_all_lists_every_group(self, tmp_path, capsys):
+    def test_default_query_lists_every_group(self, tmp_path, capsys):
         directory = str(tmp_path / "s")
         main(["ingest", directory, "--group", "alpha", "--count", "3000"])
         main(["ingest", directory, "--group", "beta", "--items", "y", "z"])
         capsys.readouterr()  # drop the ingest chatter
-        assert main(["estimate-all", directory]) == 0
+        assert main(["query", directory]) == 0  # default: estimate all
         output = capsys.readouterr().out.strip().splitlines()
         assert len(output) == 2
         by_group = dict(line.split("\t") for line in output)
         assert set(by_group) == {"alpha", "beta"}
         assert float(by_group["beta"]) == pytest.approx(2.0, abs=0.5)
 
-    def test_estimate_all_top_selects_largest(self, tmp_path, capsys):
+    def test_top_selects_largest(self, tmp_path, capsys):
         directory = str(tmp_path / "s")
         main(["ingest", directory, "--group", "small", "--items", "x"])
         main(["ingest", directory, "--group", "large", "--count", "5000"])
         capsys.readouterr()  # drop the ingest chatter
-        assert main(["estimate-all", directory, "--top", "1"]) == 0
+        assert main(["query", directory, "top 1"]) == 0
         output = capsys.readouterr().out.strip().splitlines()
         assert len(output) == 1 and output[0].startswith("large\t")
 
-    def test_query_all_groups_decodes_keys(self, tmp_path, capsys):
+    def test_prefix_filter_and_explain(self, tmp_path, capsys):
         directory = str(tmp_path / "s")
-        main(["ingest", directory, "--group", "alpha", "--items", "x"])
-        main(["ingest", directory, "--group", "beta", "--items", "y", "z"])
-        assert main(["query", directory, "--top", "1"]) == 0
-        output = capsys.readouterr().out.strip().splitlines()
-        assert output[-1].startswith("beta\t")
+        main(["ingest", directory, "--group", "country:US", "--items", "a", "b"])
+        main(["ingest", directory, "--group", "country:DE", "--items", "c"])
+        main(["ingest", directory, "--group", "city:berlin", "--items", "c"])
+        capsys.readouterr()
+        assert main(
+            ["query", directory, "top 10 where key startswith 'country:'", "--explain"]
+        ) == 0
+        output = capsys.readouterr().out
+        lines = output.strip().splitlines()
+        assert any(line.startswith("TopK(10)") for line in lines)
+        rows = [line for line in lines if "\t" in line]
+        assert [row.split("\t")[0] for row in rows] == ["country:US", "country:DE"]
+
+    def test_reader_query_reports_horizon(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        main(["ingest", directory, "--group", "g", "--count", "1000"])
+        capsys.readouterr()
+        assert main(
+            ["query", directory, "estimate 'g'", "--reader", "--expect", "1000", "--tolerance", "0.2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "durable LSN" in output
+        assert "-> ok" in output
+
+    def test_setop_query_between_groups(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        main(["ingest", directory, "--group", "a", "--items", "x", "y", "z"])
+        main(["ingest", directory, "--group", "b", "--items", "y", "z", "w"])
+        capsys.readouterr()
+        assert main(
+            [
+                "query",
+                directory,
+                "where key = 'a' intersect where key = 'b'",
+                "--expect",
+                "2",
+                "--tolerance",
+                "0.35",
+            ]
+        ) == 0
+        assert "intersect\t" in capsys.readouterr().out
+
+    def test_parse_error_exits_2(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        main(["ingest", directory, "--group", "g", "--items", "a"])
+        capsys.readouterr()
+        assert main(["query", directory, "top banana"]) == 2
+        assert "query:" in capsys.readouterr().err
+
+    def test_expect_rejects_multirow_results(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        main(["ingest", directory, "--group", "a", "--items", "x"])
+        main(["ingest", directory, "--group", "b", "--items", "y"])
+        capsys.readouterr()
+        assert main(["query", directory, "estimate all", "--expect", "2"]) == 2
+        assert "single-row" in capsys.readouterr().err
 
     def test_ingest_requires_input(self, tmp_path):
         assert main(["ingest", str(tmp_path / "s"), "--group", "g"]) == 2
@@ -105,7 +156,7 @@ class TestCrashRecovery:
         assert "simulating crash" in crashed.stdout
         # No snapshot of the data exists — only WAL records.
         recovered = _run(
-            "query", directory, "--group", "demo", "--expect", "30000", "--tolerance", "0.2"
+            "query", directory, "estimate 'demo'", "--expect", "30000", "--tolerance", "0.2"
         )
         assert recovered.returncode == 0, recovered.stdout + recovered.stderr
         assert "-> ok" in recovered.stdout
@@ -128,6 +179,6 @@ class TestCrashRecovery:
         assert info.returncode == 0
         assert "generation:  0" not in info.stdout  # compaction happened
         recovered = _run(
-            "query", directory, "--group", "demo", "--expect", "30000", "--tolerance", "0.2"
+            "query", directory, "estimate 'demo'", "--expect", "30000", "--tolerance", "0.2"
         )
         assert recovered.returncode == 0, recovered.stdout + recovered.stderr
