@@ -1,0 +1,212 @@
+"""Observability overhead: instrumented vs plain ingest, bit-identical.
+
+The obs plane (PR 8) promises near-zero cost when ``REPRO_METRICS`` /
+``REPRO_TRACE`` are unset and a small, bounded cost when enabled. This
+bench measures both claims on the hot paths:
+
+* **bulk fold** — ``ExaLogLog.add_hashes`` over many pre-hashed batches
+  (the tightest ingest loop; one enabled() check + a couple of counter
+  increments and a histogram observation per batch when on). This row
+  carries the acceptance gate: enabled overhead < 5%.
+* **store ingest + query** — ``SketchStore.append`` over grouped batches
+  followed by ``execute(Estimate(Scan()))`` (WAL append, fsync account,
+  estimation and query-executor instrumentation all live). Context row,
+  not gated: wall time is fsync-dominated and noisy on CI.
+
+Every comparison asserts bit-identity first — the instrumented run must
+produce byte-identical registers and float-identical estimate rows, or
+the bench fails regardless of timing. Results go to ``BENCH_obs.json``
+and a text table under ``benchmarks/output/``.
+
+Acceptance gate (full mode): bulk-fold enabled overhead < 5%. Quick
+mode (CI, 1-core runners) shrinks the workload and skips the timing
+gate, standing on the bit-identity assertions — the same SKIP
+convention as the parallel and estimation benches.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.exaloglog import ExaLogLog
+from repro.experiments.common import format_table
+from repro.obs import metrics, trace
+from repro.query import Estimate, Scan, execute
+from repro.store import SketchStore
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_JSON = REPO_ROOT / "BENCH_obs.json"
+OUTPUT_TXT = pathlib.Path(__file__).resolve().parent / "output" / "bench_obs.txt"
+
+#: Timed repetitions per arm (best-of; absorbs allocator and cache warmup).
+ROUNDS = 5
+
+
+def _instrumentation(enabled: bool):
+    """Context enabling (or explicitly disabling) metrics + tracing."""
+    import contextlib
+
+    if not enabled:
+        return contextlib.nullcontext()
+
+    @contextlib.contextmanager
+    def both():
+        with metrics.instrumented(), trace.tracing():
+            yield
+
+    return both()
+
+
+def _best_of_interleaved(run, rounds: int):
+    """Best-of timing for the off and on arms, rounds interleaved.
+
+    Alternating off/on within each round (instead of all-off then
+    all-on) makes the comparison robust to machine-load drift between
+    arms. Returns ``{enabled: (best_elapsed_s, last_result)}``.
+    """
+    best = {False: float("inf"), True: float("inf")}
+    results = {}
+    for _ in range(rounds):
+        for enabled in (False, True):
+            with _instrumentation(enabled):
+                elapsed, result = run()
+            best[enabled] = min(best[enabled], elapsed)
+            results[enabled] = result
+    return {enabled: (best[enabled], results[enabled]) for enabled in best}
+
+
+def bench_fold(t: int, d: int, p: int, batches: int, batch: int, rng) -> dict:
+    """Bulk ``add_hashes`` fold, instrumentation off vs on. Gated row."""
+    payloads = [
+        rng.integers(0, 1 << 64, size=batch, dtype=np.uint64) for _ in range(batches)
+    ]
+
+    def run():
+        sketch = ExaLogLog(t, d, p)
+        started = time.perf_counter()
+        for hashes in payloads:
+            sketch.add_hashes(hashes)
+        return time.perf_counter() - started, sketch.to_bytes()
+
+    run()  # warm the backend dispatch and numpy buffers
+    results = _best_of_interleaved(run, ROUNDS)
+    (off_s, off_bytes), (on_s, on_bytes) = results[False], results[True]
+    assert off_bytes == on_bytes, "instrumented fold changed register bytes"
+    return {
+        "section": "fold",
+        "config": f"t={t} d={d} p={p} batch={batch}",
+        "batches": batches,
+        "off_s": off_s,
+        "on_s": on_s,
+        "overhead_pct": (on_s / off_s - 1.0) * 100.0,
+    }
+
+
+def bench_store(p: int, groups: int, batches: int, batch: int, rng) -> dict:
+    """Store ingest + batched estimate query, off vs on. Context row."""
+    keys = [f"group-{index:04d}".encode() for index in range(groups)]
+    payloads = [
+        [
+            rng.integers(0, 1 << 63, size=batch).tolist()
+            for _ in range(batches)
+        ]
+        for _ in keys
+    ]
+
+    def run():
+        with tempfile.TemporaryDirectory(dir=str(REPO_ROOT)) as scratch:
+            started = time.perf_counter()
+            with SketchStore.open(pathlib.Path(scratch) / "s", t=2, d=20, p=p) as store:
+                for key, group_payloads in zip(keys, payloads):
+                    for items in group_payloads:
+                        store.append(key, items)
+                rows = execute(Estimate(Scan()), store).rows
+            return time.perf_counter() - started, rows
+
+    results = _best_of_interleaved(run, max(2, ROUNDS - 3))
+    (off_s, off_rows), (on_s, on_rows) = results[False], results[True]
+    assert off_rows == on_rows, "instrumented store/query changed estimate rows"
+    return {
+        "section": "store+query",
+        "config": f"p={p} groups={groups} batch={batch}",
+        "batches": groups * batches,
+        "off_s": off_s,
+        "on_s": on_s,
+        "overhead_pct": (on_s / off_s - 1.0) * 100.0,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: small workload, bit-identity only (no overhead gate)",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=OUTPUT_JSON, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+    rng = np.random.Generator(np.random.PCG64(0x0B5))
+
+    rows = []
+    if args.quick:
+        rows.append(bench_fold(2, 20, 11, batches=40, batch=8192, rng=rng))
+        rows.append(bench_store(8, groups=8, batches=4, batch=500, rng=rng))
+    else:
+        rows.append(bench_fold(2, 20, 11, batches=200, batch=8192, rng=rng))
+        rows.append(bench_store(11, groups=32, batches=8, batch=2000, rng=rng))
+
+    for row in rows:
+        print(
+            f"{row['section']:12s} {row['config']:28s} batches={row['batches']:>5,d}  "
+            f"off {row['off_s']:8.4f} s  on {row['on_s']:8.4f} s"
+            f"  overhead {row['overhead_pct']:+6.2f}%"
+        )
+
+    fold_gate = next(row["overhead_pct"] for row in rows if row["section"] == "fold")
+    payload = {
+        "quick": args.quick,
+        "results": rows,
+        "fold_overhead_pct": fold_gate,
+        "bit_identical": True,  # asserted above, the run fails otherwise
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    OUTPUT_TXT.parent.mkdir(exist_ok=True)
+    OUTPUT_TXT.write_text(
+        "== observability: instrumented vs plain ingest (bit-identical) ==\n"
+        + format_table(
+            rows, ["section", "config", "batches", "off_s", "on_s", "overhead_pct"]
+        )
+        + "\n"
+    )
+    print(f"\nwrote {args.output} and {OUTPUT_TXT}")
+
+    if args.quick:
+        print(
+            "SKIP: overhead gate skipped in quick mode "
+            "(bit-identity of instrumented ingest + query asserted)"
+        )
+        return 0
+    if fold_gate >= 5.0:
+        print(f"FAIL: bulk-fold enabled overhead {fold_gate:+.2f}% >= 5%")
+        return 1
+    print(f"OK: bulk-fold enabled overhead {fold_gate:+.2f}% < 5%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,14 +29,36 @@ against.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from repro.backends.bitops import bit_length_u64, nlz64_array, ntz64_array
 from repro.core.params import ExaLogLogParams
+from repro.obs import metrics as _metrics
 
 _U64 = np.uint64
+
+# Instrumentation handles (no-ops until REPRO_METRICS enables collection;
+# the enabled() guard at each call site keeps the disabled cost to one
+# module-flag check).
+_FOLD_BATCH_SIZE = _metrics.histogram(
+    "backend.fold_batch_size", "Hashes per bulk fold call."
+)
+_HASHES_FOLDED = _metrics.counter(
+    "backend.hashes_folded", "Total hashes folded through the bulk path."
+)
+_FOLD_SECONDS = _metrics.counter(
+    "backend.fold_seconds", "Wall seconds spent inside bulk folds."
+)
+_MERGES = _metrics.counter(
+    "backend.register_merges", "Algorithm 5 register-array merges."
+)
+#: Per-backend fold counters, cached by backend name: registry lookups
+#: canonicalize labels, which is too slow for the per-batch hot path.
+#: Handles stay valid across Registry.reset() (values are zeroed in place).
+_FOLD_COUNTERS: "dict[str, _metrics.Counter]" = {}
 
 #: Batches are folded in chunks of this many hashes: the ~10 temporary
 #: arrays of a fold then stay cache-resident, which measures ~3x faster
@@ -190,7 +212,26 @@ def _backend():
 
 def exaloglog_registers(hashes: np.ndarray, params: ExaLogLogParams) -> np.ndarray:
     """Fresh ExaLogLog register array for a hash batch (active backend)."""
-    return _backend().fold(hashes, params)
+    backend = _backend()
+    if _metrics.enabled():
+        started = _perf_counter()
+        registers = backend.fold(hashes, params)
+        _FOLD_SECONDS.inc(_perf_counter() - started)
+        _FOLD_BATCH_SIZE.observe(len(hashes))
+        _HASHES_FOLDED.inc(len(hashes))
+        folds = _FOLD_COUNTERS.get(backend.name)
+        if folds is None:
+            folds = _FOLD_COUNTERS.setdefault(
+                backend.name,
+                _metrics.counter(
+                    "backend.folds",
+                    "Bulk folds dispatched, by kernel backend.",
+                    labels={"backend": backend.name},
+                ),
+            )
+        folds.inc()
+        return registers
+    return backend.fold(hashes, params)
 
 
 def exaloglog_registers_from_pairs(
@@ -204,6 +245,8 @@ def merge_exaloglog_registers(
     existing: Sequence[int], batch: np.ndarray, d: int
 ) -> np.ndarray:
     """Vectorised Algorithm 5 merge (active backend)."""
+    if _metrics.enabled():
+        _MERGES.inc()
     return _backend().merge_registers(existing, batch, d)
 
 

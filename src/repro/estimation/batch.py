@@ -44,8 +44,19 @@ import numpy as np
 from repro.core.distribution import omega_scaled_table, phi_table
 from repro.core.params import ExaLogLogParams
 from repro.estimation.newton import MAX_ITERATIONS
+from repro.obs import metrics as _metrics
 
 _U64 = np.uint64
+
+_SOLVE_BATCH_SIZE = _metrics.histogram(
+    "estimation.solve_batch_size",
+    "Rows per simultaneous ML-equation solve.",
+)
+_NEWTON_ITERATIONS = _metrics.histogram(
+    "estimation.newton_iterations",
+    "Newton iterations per solved row.",
+    buckets=tuple(float(i) for i in range(1, 33)),
+)
 
 #: Columns of the beta matrices: exponents ``u`` in ``[0, 65]`` (dense
 #: registers use at most ``64 - p <= 62``, hash tokens at most 64).
@@ -506,6 +517,9 @@ def solve_ml_equations(alpha, beta) -> BatchMLSolution:
             f"beta[{int(col)}] must be non-negative, got {int(beta[row, col])}"
         )
 
+    if _metrics.enabled():
+        _SOLVE_BATCH_SIZE.observe(float(k))
+
     nu = np.zeros(k)
     iterations = np.zeros(k, dtype=np.int64)
     nonzero = beta > 0
@@ -593,6 +607,10 @@ def solve_ml_equations(alpha, beta) -> BatchMLSolution:
     # nu = 2**u_max * log1p(x); math.log1p for bit-identity with the scalar.
     for i in np.flatnonzero(solving).tolist():
         nu[i] = (2.0 ** int(u_max[i])) * math.log1p(float(x_cur[i]))
+    if _metrics.enabled():
+        values, counts = np.unique(iterations[solving], return_counts=True)
+        for value, count in zip(values.tolist(), counts.tolist()):
+            _NEWTON_ITERATIONS.observe(float(value), count=int(count))
     return BatchMLSolution(nu=nu, iterations=iterations, saturated=saturated)
 
 

@@ -32,6 +32,7 @@ library-wide bit-identity contract.
 from __future__ import annotations
 
 import atexit
+import logging
 import os
 import queue
 import threading
@@ -46,10 +47,38 @@ import multiprocessing
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.parallel.ingest import preferred_start_method
+
+logger = logging.getLogger(__name__)
 
 #: Idle seconds after which the reaper thread retires the pool's workers.
 DEFAULT_IDLE_TIMEOUT = 30.0
+
+# Observability handles. Worker-side metrics accrued during a job (e.g.
+# the backend fold counters) are drained after the task and shipped back
+# through the existing result channel, then merged into the parent's
+# registry — the same partial-state-then-merge scheme the sketches use.
+_DISPATCH_SECONDS = _metrics.histogram(
+    "pool.dispatch_seconds", "Wall seconds per pool map() dispatch."
+)
+_QUEUE_DEPTH = _metrics.gauge(
+    "pool.queue_depth", "Jobs in flight during the current dispatch.", mode="max"
+)
+_JOBS = _metrics.counter("pool.jobs", "Jobs dispatched to pool workers.")
+_WORKER_RESPAWNS = _metrics.counter(
+    "pool.worker_respawns", "Workers respawned after an unexpected death."
+)
+_SHM_REUSE = _metrics.counter(
+    "pool.shm_reuse", "Dispatches served by the already-allocated segment."
+)
+_SHM_ALLOC = _metrics.counter(
+    "pool.shm_alloc", "Shared-memory segment (re)allocations."
+)
+_SHM_BYTES = _metrics.counter(
+    "pool.shm_bytes_packed", "Bytes packed into the transport segment."
+)
 
 #: Worker-side cap on cached shared-memory attachments.
 _ATTACH_CAP = 8
@@ -198,22 +227,37 @@ def _task_replay(payload):
 
 
 def _worker_main(job_queue, result_queue) -> None:
-    """Worker loop: run registry tasks until the ``None`` sentinel."""
+    """Worker loop: run registry tasks until the ``None`` sentinel.
+
+    Jobs carry the parent's metrics-enabled flag (a parent that called
+    :func:`repro.obs.metrics.enable` programmatically has no environment
+    variable for a spawn worker to inherit). When set, the worker
+    collects during the task and ships its *drained* registry — deltas,
+    so repeated jobs merge additively in the parent without double
+    counting — as the fourth element of the result tuple.
+    """
+    # A fork-started worker inherits the parent registry's *values* at
+    # fork time; shipping those back would double count the parent's own
+    # work. Start from zero — only this worker's deltas ever ship.
+    _metrics.REGISTRY.reset()
     while True:
         job = job_queue.get()
         if job is None:
             break
-        job_id, task_name, payload = job
+        job_id, task_name, payload, obs = job
+        if obs and not _metrics.enabled():
+            _metrics.enable()
         try:
             result = _TASKS[task_name](payload)
         except Exception as exc:  # surfaced in the parent as RuntimeError
             import traceback
 
             result_queue.put(
-                (job_id, False, f"{exc!r}\n{traceback.format_exc()}")
+                (job_id, False, f"{exc!r}\n{traceback.format_exc()}", None)
             )
         else:
-            result_queue.put((job_id, True, result))
+            captured = _metrics.drain() if obs else None
+            result_queue.put((job_id, True, result, captured))
 
 
 # -- the pool ------------------------------------------------------------------
@@ -278,6 +322,7 @@ class PersistentIngestPool:
         self._segment: shared_memory.SharedMemory | None = None
         self._job_counter = 0
         self._spawn_count = 0
+        self._respawn_count = 0
         self._last_used = time.monotonic()
         self._owner_pid = os.getpid()
         self._reaper: threading.Thread | None = None
@@ -293,6 +338,11 @@ class PersistentIngestPool:
     def spawn_count(self) -> int:
         """Total workers ever spawned (reuse shows as a constant count)."""
         return self._spawn_count
+
+    @property
+    def respawn_count(self) -> int:
+        """Workers respawned after dying unexpectedly (0 in healthy runs)."""
+        return self._respawn_count
 
     def worker_pids(self) -> list[int]:
         """PIDs of the currently-live workers."""
@@ -330,6 +380,7 @@ class PersistentIngestPool:
         self._segment = None
         self._job_counter = 0
         self._spawn_count = 0
+        self._respawn_count = 0
         self._owner_pid = os.getpid()
         self._reaper = None
 
@@ -347,6 +398,7 @@ class PersistentIngestPool:
             self._result_queue = self._context.Queue()
         for slot, worker in enumerate(self._workers):
             if not worker.alive:
+                self._note_respawn(slot, worker.process.exitcode)
                 self._workers[slot] = _Worker(self._context, self._result_queue)
                 self._spawn_count += 1
         while len(self._workers) < count:
@@ -359,6 +411,18 @@ class PersistentIngestPool:
                 daemon=True,
             )
             self._reaper.start()
+
+    def _note_respawn(self, slot: int, exitcode) -> None:
+        """Make a worker death visible: warning log + respawn counter."""
+        self._respawn_count += 1
+        _WORKER_RESPAWNS.inc()
+        logger.warning(
+            "pool worker in slot %d died unexpectedly (exit code %s); "
+            "respawning (respawn #%d of this pool)",
+            slot,
+            exitcode,
+            self._respawn_count,
+        )
 
     def _stop_workers_locked(self) -> None:
         workers, self._workers = self._workers, []
@@ -418,6 +482,10 @@ class PersistentIngestPool:
             self._segment = shared_memory.SharedMemory(
                 create=True, size=max(total, 1)
             )
+            _SHM_ALLOC.inc()
+        else:
+            _SHM_REUSE.inc()
+        _SHM_BYTES.inc(total)
         slices: list[ShmSlice] = []
         offset = 0
         for array in arrays:
@@ -457,32 +525,53 @@ class PersistentIngestPool:
         results = [None] * len(payloads)
         pending: dict[int, tuple[int, int, object]] = {}
         attempts: dict[int, int] = {}
+        obs = _metrics.enabled()
+        started = time.perf_counter() if obs else 0.0
         for position, payload in enumerate(payloads):
             job_id = self._job_counter
             self._job_counter += 1
             slot = position % count
             pending[job_id] = (slot, position, payload)
             attempts[job_id] = 1
-            active[slot].job_queue.put((job_id, task, payload))
-        while pending:
-            try:
-                job_id, ok, value = self._result_queue.get(timeout=0.1)
-            except queue.Empty:
-                self._handle_dead_locked(task, pending, attempts, retryable, count)
-                continue
-            except (EOFError, OSError):
-                self._handle_dead_locked(task, pending, attempts, retryable, count)
-                continue
-            if job_id not in pending:
-                continue  # duplicate from a retried-then-completed job
-            if not ok:
-                raise RuntimeError(f"pool task {task!r} failed in worker:\n{value}")
-            _, position, _ = pending.pop(job_id)
-            results[position] = value
+            active[slot].job_queue.put((job_id, task, payload, obs))
+        if obs:
+            _JOBS.inc(len(payloads))
+            _QUEUE_DEPTH.set(len(pending))
+        with _trace.span("pool.map", task=task, jobs=len(payloads)):
+            while pending:
+                try:
+                    job_id, ok, value, captured = self._result_queue.get(
+                        timeout=0.1
+                    )
+                except queue.Empty:
+                    self._handle_dead_locked(
+                        task, pending, attempts, retryable, count, obs
+                    )
+                    continue
+                except (EOFError, OSError):
+                    self._handle_dead_locked(
+                        task, pending, attempts, retryable, count, obs
+                    )
+                    continue
+                if captured:
+                    # Worker-side deltas merge like partial sketches do.
+                    _metrics.merge_snapshot(captured)
+                if job_id not in pending:
+                    continue  # duplicate from a retried-then-completed job
+                if not ok:
+                    raise RuntimeError(
+                        f"pool task {task!r} failed in worker:\n{value}"
+                    )
+                _, position, _ = pending.pop(job_id)
+                results[position] = value
+        if obs:
+            _QUEUE_DEPTH.set(0)
+            _DISPATCH_SECONDS.observe(time.perf_counter() - started)
         self._last_used = time.monotonic()
         return results
 
-    def _handle_dead_locked(self, task, pending, attempts, retryable, count):
+    def _handle_dead_locked(self, task, pending, attempts, retryable, count,
+                            obs: bool = False):
         """Respawn crashed workers; re-dispatch or fail their lost jobs."""
         dead_slots = [
             slot for slot in range(count) if not self._workers[slot].alive
@@ -505,6 +594,7 @@ class PersistentIngestPool:
         queued_ids = {item[0] for item in drained}
         for slot in dead_slots:
             exitcode = self._workers[slot].process.exitcode
+            self._note_respawn(slot, exitcode)
             self._workers[slot] = _Worker(self._context, self._result_queue)
             self._spawn_count += 1
             lost = [
@@ -526,7 +616,7 @@ class PersistentIngestPool:
                 attempts[job_id] += 1
                 _, position, payload = pending[job_id]
                 pending[job_id] = (slot, position, payload)
-                self._workers[slot].job_queue.put((job_id, task, payload))
+                self._workers[slot].job_queue.put((job_id, task, payload, obs))
 
     # -- wired entry points ----------------------------------------------------
 

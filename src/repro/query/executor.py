@@ -17,9 +17,12 @@ is bit-identical to scalar estimation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.query.plan import (
     DEFAULT_SOURCE,
     Estimate,
@@ -33,6 +36,11 @@ from repro.query.plan import (
 from repro.query.planner import access_path
 from repro.query.source import BucketedSource, WindowedSource, as_source
 
+_EXECUTIONS = _metrics.counter("query.executions", "Plans executed.")
+_EXECUTE_SECONDS = _metrics.histogram(
+    "query.execute_seconds", "Wall time of one plan execution."
+)
+
 
 @dataclass(frozen=True)
 class QueryResult:
@@ -45,6 +53,12 @@ class QueryResult:
 
     kind: str
     rows: "tuple[tuple[bytes, float], ...]"
+
+    profile: "dict[int, float] | None" = None
+    """Inclusive wall seconds per plan node, keyed by ``id(node)``.
+
+    Populated by ``execute(..., analyze=True)``; feed it to
+    :func:`repro.query.planner.explain` to annotate the plan lines."""
 
     @property
     def value(self) -> float:
@@ -70,11 +84,21 @@ class QueryResult:
 
 
 class _Context:
-    """Bound sources + the execution-time ``now`` anchor."""
+    """Bound sources + the execution-time ``now`` anchor.
 
-    def __init__(self, sources: "Mapping[str, Any]", now: "float | None") -> None:
+    ``profile`` is ``None`` normally; under ``analyze`` it accumulates
+    inclusive wall seconds per plan node (keyed by ``id(node)``).
+    """
+
+    def __init__(
+        self,
+        sources: "Mapping[str, Any]",
+        now: "float | None",
+        profile: "dict[int, float] | None" = None,
+    ) -> None:
         self.sources = {name: as_source(obj) for name, obj in sources.items()}
         self.now = now
+        self.profile = profile
 
     def source(self, name: str):
         try:
@@ -107,16 +131,32 @@ def execute(
     *,
     sources: "Mapping[str, Any] | None" = None,
     now: "float | None" = None,
+    analyze: bool = False,
 ) -> QueryResult:
     """Run ``plan`` and return its rows.
 
     ``source`` binds the plan's default source; ``sources`` maps
     additional ``Scan`` names. A sketch-valued root gets an implicit
     ``Estimate``. ``now`` anchors ``Window`` nodes without an explicit
-    ``end``.
+    ``end``. With ``analyze`` the result carries per-node inclusive wall
+    times (:attr:`QueryResult.profile`) for
+    :func:`repro.query.planner.explain` — rows are unchanged.
     """
-    ctx = _Context(_bind(source, sources), now)
-    return _rows(plan, ctx)
+    obs = _metrics.enabled()
+    if not (analyze or obs):
+        ctx = _Context(_bind(source, sources), now)
+        return _rows(plan, ctx)
+    profile: "dict[int, float] | None" = {} if analyze else None
+    ctx = _Context(_bind(source, sources), now, profile)
+    started = time.perf_counter()
+    with _trace.span("query.execute", kind=type(plan).__name__):
+        result = _rows(plan, ctx)
+    if obs:
+        _EXECUTIONS.inc()
+        _EXECUTE_SECONDS.observe(time.perf_counter() - started)
+    if profile is None:
+        return result
+    return QueryResult(result.kind, result.rows, profile)
 
 
 def execute_sketches(
@@ -138,6 +178,21 @@ def execute_sketches(
 
 
 # -- sketch-valued evaluation --------------------------------------------------
+
+
+def _record(ctx: _Context, node: PlanNode, elapsed: float) -> None:
+    ctx.profile[id(node)] = ctx.profile.get(id(node), 0.0) + elapsed
+
+
+def _profiled(ctx: _Context, node: PlanNode, thunk):
+    """Run ``thunk`` attributing its wall time to ``node`` (analyze only)."""
+    if ctx.profile is None:
+        return thunk()
+    started = time.perf_counter()
+    try:
+        return thunk()
+    finally:
+        _record(ctx, node, time.perf_counter() - started)
 
 
 def _live_sketches(source) -> "Mapping[bytes, Any] | None":
@@ -270,11 +325,27 @@ def _window_keys(node: Window, source, ctx: _Context) -> "tuple[list[bytes], str
 
 def _materialize(node: PlanNode, ctx: _Context) -> "dict[bytes, Any]":
     """Evaluate a sketch-valued subtree to a keyed sketch mapping."""
+    if ctx.profile is None:
+        return _materialize_impl(node, ctx)
+    started = time.perf_counter()
+    try:
+        with _trace.span("query.node", node=type(node).__name__):
+            return _materialize_impl(node, ctx)
+    finally:
+        _record(ctx, node, time.perf_counter() - started)
+
+
+def _materialize_impl(node: PlanNode, ctx: _Context) -> "dict[bytes, Any]":
     if isinstance(node, Scan):
         return _scan(ctx.source(node.source), None, ctx)
     if isinstance(node, Filter):
         if isinstance(node.child, Scan):
-            return _scan(ctx.source(node.child.source), node, ctx)
+            # Filter pushed into the scan: attribute the work to the
+            # Scan leaf so analyze still times every plan node.
+            child = node.child
+            return _profiled(
+                ctx, child, lambda: _scan(ctx.source(child.source), node, ctx)
+            )
         child = _materialize(node.child, ctx)
         return {key: sketch for key, sketch in child.items() if node.matches(key)}
     if isinstance(node, Window):
@@ -321,6 +392,17 @@ def _rank(rows, count: int) -> "tuple[tuple[bytes, float], ...]":
 
 
 def _rows(node: PlanNode, ctx: _Context) -> QueryResult:
+    if ctx.profile is None:
+        return _rows_impl(node, ctx)
+    started = time.perf_counter()
+    try:
+        with _trace.span("query.node", node=type(node).__name__):
+            return _rows_impl(node, ctx)
+    finally:
+        _record(ctx, node, time.perf_counter() - started)
+
+
+def _rows_impl(node: PlanNode, ctx: _Context) -> QueryResult:
     if isinstance(node, Estimate):
         child = node.child
         if isinstance(child, SetOp) and child.op != "union":
@@ -328,7 +410,9 @@ def _rows(node: PlanNode, ctx: _Context) -> QueryResult:
         if isinstance(child, Scan):
             # Whole-source fast path: the source's own batched solve
             # (identical floats — both routes go through one solve).
-            estimates = ctx.source(child.source).estimates()
+            estimates = _profiled(
+                ctx, child, lambda: ctx.source(child.source).estimates()
+            )
             rows = tuple(sorted(estimates.items()))
             return QueryResult("estimates", rows)
         return QueryResult("estimates", _estimate_rows(_materialize(child, ctx)))
@@ -338,7 +422,9 @@ def _rows(node: PlanNode, ctx: _Context) -> QueryResult:
             inner = _rows(child, ctx)
             return QueryResult("top", _rank(inner.rows, node.count))
         if isinstance(child, Scan):
-            estimates = ctx.source(child.source).estimates()
+            estimates = _profiled(
+                ctx, child, lambda: ctx.source(child.source).estimates()
+            )
             return QueryResult("top", _rank(estimates.items(), node.count))
         rows = _estimate_rows(_materialize(child, ctx))
         return QueryResult("top", _rank(rows, node.count))

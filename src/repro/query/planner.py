@@ -109,9 +109,27 @@ def _describe_source(source) -> str:
     return name
 
 
-def explain(plan: PlanNode, sources: "dict[str, object]") -> "list[str]":
-    """Human-readable physical plan, one line per node (indent = depth)."""
+def explain(
+    plan: PlanNode,
+    sources: "dict[str, object]",
+    profile: "dict[int, float] | None" = None,
+) -> "list[str]":
+    """Human-readable physical plan, one line per node (indent = depth).
+
+    With ``profile`` — the per-node inclusive wall times measured by
+    ``execute(..., analyze=True)``, keyed by ``id(node)`` — every line of
+    this *same* plan object is annotated ``[time=...ms]``, giving the
+    ``EXPLAIN ANALYZE`` surface.
+    """
     lines: "list[str]" = []
+
+    def annotate(node: PlanNode) -> str:
+        if profile is None:
+            return ""
+        elapsed = profile.get(id(node))
+        if elapsed is None:
+            return "  [time=n/a]"
+        return f"  [time={elapsed * 1e3:.3f}ms]"
 
     def walk(node: PlanNode, depth: int, pending_filter: "Filter | None") -> None:
         pad = "  " * depth
@@ -120,7 +138,7 @@ def explain(plan: PlanNode, sources: "dict[str, object]") -> "list[str]":
             path = access_path(source, pending_filter)
             lines.append(
                 f"{pad}Scan({node.source}: {_describe_source(source)}) "
-                f"-> {path.kind} ({path.reason})"
+                f"-> {path.kind} ({path.reason}){annotate(node)}"
             )
         elif isinstance(node, Filter):
             if node.keys is not None:
@@ -129,24 +147,26 @@ def explain(plan: PlanNode, sources: "dict[str, object]") -> "list[str]":
                 detail = f"prefix={node.prefix.decode('utf-8', 'replace')!r}"
             else:
                 detail = "predicate=<callable>"
-            lines.append(f"{pad}Filter({detail})")
+            lines.append(f"{pad}Filter({detail}){annotate(node)}")
             walk(node.child, depth + 1, node if node.keys is not None else None)
         elif isinstance(node, Window):
             anchor = "now" if node.end is None else f"end={node.end}"
-            lines.append(f"{pad}Window(duration={node.duration}, {anchor})")
+            lines.append(
+                f"{pad}Window(duration={node.duration}, {anchor}){annotate(node)}"
+            )
             walk(node.child, depth + 1, None)
         elif isinstance(node, SetOp):
-            lines.append(f"{pad}SetOp({node.op})")
+            lines.append(f"{pad}SetOp({node.op}){annotate(node)}")
             walk(node.left, depth + 1, None)
             walk(node.right, depth + 1, None)
         elif isinstance(node, TopK):
-            lines.append(f"{pad}TopK({node.count})")
+            lines.append(f"{pad}TopK({node.count}){annotate(node)}")
             walk(node.child, depth + 1, None)
         elif isinstance(node, Estimate):
-            lines.append(f"{pad}Estimate")
+            lines.append(f"{pad}Estimate{annotate(node)}")
             walk(node.child, depth + 1, None)
         else:
-            lines.append(f"{pad}{node!r}")
+            lines.append(f"{pad}{node!r}{annotate(node)}")
 
     walk(plan, 0, None)
     return lines

@@ -32,6 +32,17 @@ Commands
     Fold the WAL into a fresh snapshot generation.
 ``info``
     Show generation, LSNs, WAL size, and group count.
+``stats``
+    Observability snapshot: enable :mod:`repro.obs.metrics`, run one
+    read pass (replay + refresh + a batched estimate solve) over the
+    store, and export every metric — human-readable by default,
+    ``--json`` or ``--prom`` (Prometheus text exposition) for machines.
+
+``serve`` and ``replicate`` emit one structured heartbeat line per
+iteration (``refresh``/``sync`` with ``key=value`` fields including the
+refresh/apply lag), retry transient errors with bounded exponential
+backoff instead of dying, and — when ``REPRO_METRICS`` is on — print a
+``metrics ...`` summary line every ``--metrics-every`` iterations.
 
 Example drill::
 
@@ -112,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the physical plan (chosen access paths) before the rows",
     )
     query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute with per-plan-node timing and print the annotated "
+        "plan (EXPLAIN ANALYZE) before the rows",
+    )
+    query.add_argument(
         "--now",
         type=float,
         help="time anchor for 'window' clauses without an explicit 'ending'",
@@ -145,6 +162,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after N refreshes (default: run until interrupted)",
     )
     serve.add_argument("--top", type=int, help="also print the TOP largest groups")
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=5,
+        help="consecutive transient-error retries before giving up (default 5)",
+    )
+    serve.add_argument(
+        "--metrics-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="with REPRO_METRICS on, print a metrics line every N "
+        "refreshes (default 10)",
+    )
 
     replicate = commands.add_parser(
         "replicate",
@@ -167,12 +198,46 @@ def build_parser() -> argparse.ArgumentParser:
     replicate.add_argument(
         "--fsync", action="store_true", help="fsync the follower WAL per record batch"
     )
+    replicate.add_argument(
+        "--max-retries",
+        type=int,
+        default=5,
+        help="consecutive transient-error retries before giving up (default 5)",
+    )
+    replicate.add_argument(
+        "--metrics-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="with REPRO_METRICS on, print a metrics line every N syncs "
+        "(default 10)",
+    )
 
     compact = commands.add_parser("compact", help="fold the WAL into a new snapshot")
     _add_store_arguments(compact)
 
     info = commands.add_parser("info", help="show store state")
     _add_store_arguments(info)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run one instrumented read pass and export the metrics",
+    )
+    _add_store_arguments(stats)
+    formats = stats.add_mutually_exclusive_group()
+    formats.add_argument(
+        "--json", action="store_true", help="machine-readable JSON export"
+    )
+    formats.add_argument(
+        "--prom",
+        action="store_true",
+        help="Prometheus text exposition (version 0.0.4)",
+    )
+    stats.add_argument(
+        "--no-estimates",
+        action="store_true",
+        help="skip the batched estimate pass (replay/refresh metrics only)",
+    )
     return parser
 
 
@@ -228,10 +293,15 @@ def _command_query(arguments: argparse.Namespace) -> int:
         return 2
     opener = SnapshotReader.open if arguments.reader else SketchStore.open
     with opener(arguments.directory) as source:
-        if arguments.explain:
+        if arguments.explain and not arguments.analyze:
             for line in explain(plan, {DEFAULT_SOURCE: source}):
                 print(line)
-        result = execute(plan, source, now=arguments.now)
+        result = execute(plan, source, now=arguments.now, analyze=arguments.analyze)
+        if arguments.analyze:
+            for line in explain(
+                plan, {DEFAULT_SOURCE: source}, profile=result.profile
+            ):
+                print(line)
         for key, estimate in result.rows:
             print(f"{DistinctCountAggregator.decode_key(key)}\t{estimate:.1f}")
         if arguments.reader:
@@ -256,20 +326,95 @@ def _command_query(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve(arguments: argparse.Namespace) -> int:
-    """Poll-refresh loop of one query-serving reader process."""
+#: Exceptions the serve/replicate loops survive with backoff: filesystem
+#: races against a live writer (OSError covers vanished files mid-open)
+#: and torn/garbled reads a later attempt will see past.
+def _transient_errors() -> tuple:
+    from repro.storage.serialization import SerializationError
+
+    return (OSError, SerializationError)
+
+
+def _metrics_line(prefixes: "tuple[str, ...]") -> str:
+    """One ``metrics ...`` summary line for the named metric families."""
+    from repro.obs import metrics as _metrics
+
+    parts = []
+    for metric in _metrics.REGISTRY.metrics():
+        if not metric.name.startswith(prefixes):
+            continue
+        name = metric.name + metric._label_suffix()
+        if metric.kind == "histogram":
+            if metric.count:
+                parts.append(
+                    f"{name}.count={metric.count} {name}.p50={metric.quantile(0.5):.6g}"
+                )
+        else:
+            parts.append(f"{name}={metric.value:.6g}")
+    return "metrics " + " ".join(parts) if parts else "metrics (none)"
+
+
+def _retry_loop(arguments, step, heartbeat, metric_prefixes, stop) -> int:
+    """Shared serve/replicate skeleton: step, heartbeat, backoff, repeat.
+
+    ``step()`` does one refresh/sync and returns its result; transient
+    errors back off exponentially (capped at 30s) and only ``--max-retries``
+    *consecutive* failures abort. ``heartbeat(iteration, result, lag)``
+    prints the structured progress line; ``stop(iteration)`` ends the loop.
+    """
     import time
 
-    with SnapshotReader.open(arguments.directory) as reader:
-        iteration = 0
-        while True:
-            iteration += 1
-            result = reader.refresh()
+    from repro.obs import metrics as _metrics
+
+    transient = _transient_errors()
+    iteration = 0
+    failures = 0
+    last_progress = time.monotonic()
+    while True:
+        try:
+            result = step()
+        except transient as error:
+            failures += 1
+            if failures > arguments.max_retries:
+                print(
+                    f"giving up after {failures} consecutive transient "
+                    f"errors: {error}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return 1
+            delay = min(max(arguments.interval, 0.05) * (2 ** (failures - 1)), 30.0)
             print(
+                f"warn transient={type(error).__name__} attempt={failures} "
+                f"retry_in={delay:.2f}s error={error!s:.200}",
+                file=sys.stderr,
+                flush=True,
+            )
+            time.sleep(delay)
+            continue
+        failures = 0
+        iteration += 1
+        now = time.monotonic()
+        progressed, line = heartbeat(iteration, result)
+        if progressed:
+            last_progress = now
+        print(f"{line} lag={now - last_progress:.3f}s", flush=True)
+        if _metrics.enabled() and iteration % max(arguments.metrics_every, 1) == 0:
+            print(_metrics_line(metric_prefixes), flush=True)
+        if stop(iteration):
+            return 0
+        time.sleep(arguments.interval)
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    """Poll-refresh loop of one query-serving reader process."""
+    with SnapshotReader.open(arguments.directory) as reader:
+
+        def heartbeat(iteration, result):
+            line = (
                 f"refresh {iteration}: generation={reader.generation} "
                 f"lsn={result.durable_lsn} groups={len(reader)} "
-                f"applied={result.records_applied}",
-                flush=True,
+                f"applied={result.records_applied}"
             )
             if arguments.top is not None:
                 for key, estimate in reader.top(arguments.top):
@@ -277,33 +422,55 @@ def _command_serve(arguments: argparse.Namespace) -> int:
                         f"  {DistinctCountAggregator.decode_key(key)}\t{estimate:.1f}",
                         flush=True,
                     )
-            if arguments.iterations is not None and iteration >= arguments.iterations:
-                return 0
-            time.sleep(arguments.interval)
+            return result.records_applied > 0 or result.generation_changed, line
+
+        return _retry_loop(
+            arguments,
+            step=reader.refresh,
+            heartbeat=heartbeat,
+            metric_prefixes=("reader.", "estimation.", "query."),
+            stop=lambda iteration: (
+                arguments.iterations is not None
+                and iteration >= arguments.iterations
+            ),
+        )
 
 
 def _command_replicate(arguments: argparse.Namespace) -> int:
     """Shipper loop: leader WAL records -> follower, idempotent by LSN."""
-    import time
+    # Constructed inside the retried step: a leader directory that does
+    # not exist *yet* (FileNotFoundError is an OSError) is just another
+    # transient the backoff loop waits out.
+    shipper_box: "list[WalShipper]" = []
 
-    shipper = WalShipper(arguments.directory)
+    def step():
+        if not shipper_box:
+            shipper_box.append(WalShipper(arguments.directory))
+        return shipper_box[0].sync(follower)
+
     with FollowerStore.open(arguments.follower, fsync=arguments.fsync) as follower:
-        iteration = 0
-        while True:
-            iteration += 1
-            result = shipper.sync(follower)
-            print(
+
+        def heartbeat(iteration, result):
+            line = (
                 f"sync {iteration}: lsn={result.follower_lsn} "
                 f"shipped={result.records_shipped} "
                 f"snapshot={'yes' if result.snapshot_installed else 'no'} "
-                f"groups={len(follower)}",
-                flush=True,
+                f"groups={len(follower)}"
             )
-            if arguments.once or (
-                arguments.iterations is not None and iteration >= arguments.iterations
-            ):
-                return 0
-            time.sleep(arguments.interval)
+            progressed = result.records_shipped > 0 or result.snapshot_installed
+            return progressed, line
+
+        return _retry_loop(
+            arguments,
+            step=step,
+            heartbeat=heartbeat,
+            metric_prefixes=("replicate.",),
+            stop=lambda iteration: arguments.once
+            or (
+                arguments.iterations is not None
+                and iteration >= arguments.iterations
+            ),
+        )
 
 
 def _command_compact(arguments: argparse.Namespace) -> int:
@@ -327,6 +494,49 @@ def _command_info(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stats(arguments: argparse.Namespace) -> int:
+    """One instrumented read pass, then export every metric it produced.
+
+    Enables :mod:`repro.obs.metrics` programmatically (no environment
+    variable needed), opens the store through a read-only
+    :class:`SnapshotReader` (safe against a live writer), refreshes, and
+    runs the batched estimate solve so the estimation metrics populate
+    too — then prints the registry.
+    """
+    from repro.obs import metrics as _metrics
+
+    _metrics.enable()
+    with SnapshotReader.open(arguments.directory) as reader:
+        reader.refresh()
+        if not arguments.no_estimates:
+            reader.estimates()
+        generation = reader.generation
+        durable_lsn = reader.durable_lsn
+        groups = len(reader)
+    if arguments.json:
+        print(_metrics.to_json(indent=2))
+    elif arguments.prom:
+        sys.stdout.write(_metrics.to_prometheus())
+    else:
+        print(f"generation:  {generation}")
+        print(f"durable lsn: {durable_lsn}")
+        print(f"groups:      {groups}")
+        print()
+        for metric in _metrics.REGISTRY.metrics():
+            name = metric.name + metric._label_suffix()
+            if metric.kind == "histogram":
+                if not metric.count:
+                    continue
+                print(
+                    f"histogram {name}: count={metric.count} "
+                    f"mean={metric.mean:.6g} p50={metric.quantile(0.5):.6g} "
+                    f"p99={metric.quantile(0.99):.6g}"
+                )
+            else:
+                print(f"{metric.kind} {name}: {metric.value:.6g}")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     arguments = build_parser().parse_args(argv)
     handler = {
@@ -336,8 +546,17 @@ def main(argv: "list[str] | None" = None) -> int:
         "replicate": _command_replicate,
         "compact": _command_compact,
         "info": _command_info,
+        "stats": _command_stats,
     }[arguments.command]
-    return handler(arguments)
+    try:
+        return handler(arguments)
+    except BrokenPipeError:
+        # A downstream consumer closed the pipe (serve | head, | grep -q).
+        # Point stdout at devnull so interpreter shutdown does not raise
+        # again while flushing, and exit quietly: truncated output is the
+        # consumer's choice, not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

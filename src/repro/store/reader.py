@@ -43,10 +43,13 @@ from __future__ import annotations
 import mmap
 import os
 import pathlib
+import time
 from dataclasses import dataclass
 from typing import Hashable, Iterator
 
 from repro.aggregate import DistinctCountAggregator
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.storage.serialization import (
     IncompleteRecordError,
     SerializationError,
@@ -68,6 +71,24 @@ from repro.store.sketchstore import (
 #: How often to retry when a compaction sweeps files out from under an
 #: open attempt (newest-generation discovery and file opens race benignly).
 _OPEN_RETRIES = 16
+
+# Observability handles (collection off unless REPRO_METRICS is set).
+_REFRESH_SECONDS = _metrics.histogram(
+    "reader.refresh_seconds", "Wall seconds per reader refresh."
+)
+_REFRESH_LAG_SECONDS = _metrics.gauge(
+    "reader.refresh_lag_seconds",
+    "Seconds between the start of the last two refreshes (staleness bound).",
+)
+_RECORDS_APPLIED = _metrics.counter(
+    "reader.records_applied", "WAL records applied to reader views."
+)
+_DURABLE_LSN = _metrics.gauge(
+    "reader.durable_lsn", "Durable horizon of the most recent refresh.", mode="max"
+)
+_GENERATION_SWITCHES = _metrics.counter(
+    "reader.generation_switches", "Compactions followed by readers."
+)
 
 
 @dataclass(frozen=True)
@@ -149,6 +170,7 @@ class SnapshotReader:
         reader._base_lsn = 0
         reader._durable_lsn = 0
         reader._index_cache = None
+        reader._last_refresh_at = None
         last_error: Exception | None = None
         for _ in range(_OPEN_RETRIES):
             generation = latest_generation(directory)
@@ -262,6 +284,12 @@ class SnapshotReader:
         stays or grows, never regresses — including across a generation
         switch (asserted, not assumed).
         """
+        obs = _metrics.enabled()
+        started = time.perf_counter() if obs else 0.0
+        if obs:
+            if self._last_refresh_at is not None:
+                _REFRESH_LAG_SECONDS.set(started - self._last_refresh_at)
+            self._last_refresh_at = started
         before = self._durable_lsn
         applied = self._tail_wal()
         generation_changed = False
@@ -290,6 +318,12 @@ class SnapshotReader:
             raise AssertionError(
                 f"durable horizon regressed: {before} -> {self._durable_lsn}"
             )
+        if obs:
+            _REFRESH_SECONDS.observe(time.perf_counter() - started)
+            _RECORDS_APPLIED.inc(applied)
+            _DURABLE_LSN.set(self._durable_lsn)
+            if generation_changed:
+                _GENERATION_SWITCHES.inc()
         return RefreshResult(
             records_applied=applied,
             generation_changed=generation_changed,

@@ -32,10 +32,13 @@ from __future__ import annotations
 
 import os
 import pathlib
+import time
 from dataclasses import dataclass
 from typing import Hashable, Iterator
 
 from repro.aggregate import DistinctCountAggregator
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.storage.serialization import (
     IncompleteRecordError,
     SerializationError,
@@ -52,6 +55,35 @@ from repro.store.sketchstore import (
     replay_wal,
     snapshot_path,
     wal_path,
+)
+
+
+_RECORDS_SHIPPED = _metrics.counter(
+    "replicate.records_shipped",
+    "WAL records newly applied to a follower (duplicates not counted).",
+)
+_BYTES_APPLIED = _metrics.counter(
+    "replicate.bytes_applied",
+    "Framed WAL bytes durably appended to follower logs.",
+)
+_SNAPSHOT_INSTALLS = _metrics.counter(
+    "replicate.snapshot_installs",
+    "Times a follower was (re)seeded from a leader snapshot.",
+)
+_SYNCS = _metrics.counter(
+    "replicate.syncs", "Completed WalShipper.sync calls."
+)
+_SYNC_SECONDS = _metrics.histogram(
+    "replicate.sync_seconds", "Wall time of one WalShipper.sync call."
+)
+_FOLLOWER_LSN = _metrics.gauge(
+    "replicate.follower_lsn",
+    "Follower applied horizon after the most recent sync.",
+    mode="max",
+)
+_LSN_LAG = _metrics.gauge(
+    "replicate.lsn_lag",
+    "Leader durable LSN minus follower applied LSN at sync start.",
 )
 
 
@@ -241,6 +273,8 @@ class FollowerStore:
             os.fsync(self._wal_handle.fileno())
         apply_wal_record(self._aggregator, kind, key, payload)
         self._applied_lsn = lsn
+        if _metrics.enabled():
+            _BYTES_APPLIED.inc(len(buffer))
         return True
 
     # -- lifecycle -------------------------------------------------------------
@@ -296,10 +330,23 @@ class WalShipper:
 
     def sync(self, follower: FollowerStore) -> ShipResult:
         """Bring ``follower`` up to the leader's current durable horizon."""
+        obs = _metrics.enabled()
+        started = time.perf_counter() if obs else 0.0
+        before = follower.applied_lsn
         last_error: Exception | None = None
         for _ in range(self._SYNC_RETRIES):
             try:
-                return self._sync_once(follower)
+                with _trace.span("replicate.sync", source=str(self._source)):
+                    result = self._sync_once(follower)
+                if obs:
+                    _SYNCS.inc()
+                    _SYNC_SECONDS.observe(time.perf_counter() - started)
+                    _RECORDS_SHIPPED.inc(result.records_shipped)
+                    if result.snapshot_installed:
+                        _SNAPSHOT_INSTALLS.inc()
+                    _FOLLOWER_LSN.set(result.follower_lsn)
+                    _LSN_LAG.set(result.follower_lsn - before)
+                return result
             except FileNotFoundError as error:
                 # Compaction swept a file between discovery and open;
                 # the next attempt sees the newer generation.

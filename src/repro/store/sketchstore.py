@@ -50,12 +50,15 @@ from __future__ import annotations
 import os
 import pathlib
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator
 
 import numpy as np
 
 from repro.aggregate import DistinctCountAggregator
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.storage.serialization import (
     FORMAT_VERSION,
     MAGIC,
@@ -74,6 +77,33 @@ from repro.storage.serialization import (
 #: WAL record kinds.
 RECORD_HASHES = 0x01
 RECORD_SKETCH = 0x02
+
+# Observability handles (collection off unless REPRO_METRICS is set).
+_WAL_APPEND_BYTES = _metrics.counter(
+    "store.wal_append_bytes", "Bytes appended to the write-ahead log."
+)
+_WAL_APPEND_RECORDS = _metrics.counter(
+    "store.wal_append_records", "Records appended to the write-ahead log."
+)
+_FSYNC_SECONDS = _metrics.histogram(
+    "store.fsync_seconds", "Per-record WAL fsync latency (fsync=True only)."
+)
+_SNAPSHOT_SECONDS = _metrics.histogram(
+    "store.snapshot_seconds", "Snapshot write duration (atomic rename incl.)."
+)
+_COMPACTIONS = _metrics.counter(
+    "store.compactions", "WAL-into-snapshot compactions performed."
+)
+_COMPACTION_SECONDS = _metrics.histogram(
+    "store.compaction_seconds", "Full compaction duration."
+)
+_TORN_TAIL_RECOVERIES = _metrics.counter(
+    "store.torn_tail_recoveries",
+    "Recoveries that truncated a torn WAL tail left by a crash.",
+)
+_REPLAY_RECORDS = _metrics.counter(
+    "store.wal_replay_records", "WAL records replayed during store opens."
+)
 
 _SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{8})\.bin$")
 _WAL_PATTERN = re.compile(r"^wal-(\d{8})\.log$")
@@ -371,6 +401,7 @@ class SketchStore:
                 replay = replay_wal(path_, store._aggregator, store._base_lsn)
                 store._wal_records = replay.records
                 store._durable_lsn = replay.last_lsn
+                _REPLAY_RECORDS.inc(replay.records)
                 if not read_only:
                     store._open_wal(truncate_to=replay.durable_bytes)
                     store._open_index(rebuild_from=replay.entries)
@@ -405,6 +436,7 @@ class SketchStore:
     # -- snapshot & WAL files -------------------------------------------------
 
     def _write_snapshot(self, generation: int) -> None:
+        started = time.perf_counter()
         buffer = bytearray(_file_header(TAG_SNAPSHOT))
         write_uvarint(buffer, generation)
         write_uvarint(buffer, self._durable_lsn)
@@ -418,6 +450,8 @@ class SketchStore:
         os.replace(temporary, path)
         self._sync_directory()
         self._base_lsn = self._durable_lsn
+        if _metrics.enabled():
+            _SNAPSHOT_SECONDS.observe(time.perf_counter() - started)
 
     def _load_snapshot(self, generation: int) -> tuple[DistinctCountAggregator, int]:
         path = self._snapshot_path(generation)
@@ -440,6 +474,8 @@ class SketchStore:
                 os.fsync(handle.fileno())
             self._sync_directory()
         elif truncate_to is not None and truncate_to < os.path.getsize(path):
+            # A crash mid-append left a torn tail; recovery cuts it away.
+            _TORN_TAIL_RECOVERIES.inc()
             with open(path, "r+b") as handle:
                 handle.truncate(truncate_to)
         self._wal_handle = open(path, "ab")
@@ -471,9 +507,17 @@ class SketchStore:
         self._wal_handle.write(buffer)
         self._wal_handle.flush()
         if self._fsync:
-            os.fsync(self._wal_handle.fileno())
+            if _metrics.enabled():
+                started = time.perf_counter()
+                os.fsync(self._wal_handle.fileno())
+                _FSYNC_SECONDS.observe(time.perf_counter() - started)
+            else:
+                os.fsync(self._wal_handle.fileno())
         self._durable_lsn = lsn
         self._wal_records += 1
+        if _metrics.enabled():
+            _WAL_APPEND_BYTES.inc(len(buffer))
+            _WAL_APPEND_RECORDS.inc()
         # The index entry goes *after* the WAL bytes are out: the index may
         # lag the log (readers scan the unindexed tail) but must never
         # point past it.
@@ -517,13 +561,14 @@ class SketchStore:
         if len(hashes) == 0:
             return self
         key = DistinctCountAggregator._group_key(group)
-        payload = hashes.astype("<u8", copy=False).tobytes()
-        self._append_record(RECORD_HASHES, key, payload)
-        sketch = self._aggregator._groups.get(key)
-        if sketch is None:
-            sketch = self._aggregator._new_sketch()
-            self._aggregator._groups[key] = sketch
-        sketch.add_hashes(hashes)
+        with _trace.span("store.append", batch=len(hashes)):
+            payload = hashes.astype("<u8", copy=False).tobytes()
+            self._append_record(RECORD_HASHES, key, payload)
+            sketch = self._aggregator._groups.get(key)
+            if sketch is None:
+                sketch = self._aggregator._new_sketch()
+                self._aggregator._groups[key] = sketch
+            sketch.add_hashes(hashes)
         self._maybe_auto_compact()
         return self
 
@@ -618,16 +663,21 @@ class SketchStore:
             raise ValueError("store is read-only")
         if self._wal_handle is None:
             raise ValueError("store is closed")
-        self._wal_handle.close()
-        if self._index_writer is not None:
-            self._index_writer.close()
-        self._generation += 1
-        self._write_snapshot(self._generation)
-        self._wal_records = 0
-        self._wal_handle = None
-        self._open_wal(truncate_to=None)
-        self._open_index(rebuild_from=[])
-        self._sweep_stale(self._generation)
+        started = time.perf_counter()
+        with _trace.span("store.compact", generation=self._generation + 1):
+            self._wal_handle.close()
+            if self._index_writer is not None:
+                self._index_writer.close()
+            self._generation += 1
+            self._write_snapshot(self._generation)
+            self._wal_records = 0
+            self._wal_handle = None
+            self._open_wal(truncate_to=None)
+            self._open_index(rebuild_from=[])
+            self._sweep_stale(self._generation)
+        if _metrics.enabled():
+            _COMPACTIONS.inc()
+            _COMPACTION_SECONDS.observe(time.perf_counter() - started)
         return self._generation
 
     def close(self) -> None:

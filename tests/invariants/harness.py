@@ -298,6 +298,26 @@ def build_memmap_registers(scenario: Scenario, directory) -> dict[str, np.ndarra
     return arrays
 
 
+def build_instrumented(scenario: Scenario, directory) -> DistinctCountAggregator:
+    """Observability path: the durable pipeline with metrics + tracing on.
+
+    Instrumentation must be purely observational — collecting counters,
+    histograms, and spans through bulk ingest, WAL appends, compaction,
+    recovery replay, and the batched estimate solve cannot perturb one
+    register byte or one estimate float. Runs the same schedule as
+    :func:`build_store` with ``REPRO_METRICS``/``REPRO_TRACE`` semantics
+    scoped programmatically, exercises the estimation instrumentation,
+    and returns the recovered state for comparison against a reference
+    built with instrumentation off.
+    """
+    from repro.obs import metrics, trace
+
+    with metrics.instrumented(), trace.tracing():
+        aggregator = build_store(scenario, directory)
+        aggregator.estimates()  # the Newton/solve histograms collect too
+    return aggregator
+
+
 # -- query plane ---------------------------------------------------------------
 
 

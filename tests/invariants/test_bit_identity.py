@@ -13,6 +13,7 @@ from tests.invariants.harness import (
     build_bulk,
     build_fast_backend,
     build_follower,
+    build_instrumented,
     build_memmap_registers,
     build_parallel,
     build_scalar,
@@ -62,6 +63,23 @@ def test_store_replay_matches_scalar(scenario, reference, tmp_path):
 def test_follower_matches_scalar(scenario, reference, tmp_path):
     replica = build_follower(scenario, tmp_path / "leader", tmp_path / "replica")
     assert_identical(reference, replica, "follower-replicated vs add_hash")
+
+
+def test_instrumented_matches_uninstrumented(scenario, reference, tmp_path):
+    """Metrics + tracing on cannot change a byte or a float anywhere."""
+    from repro.obs import metrics, trace
+
+    spans_before = len(trace.spans())
+    observed = build_instrumented(scenario, tmp_path / "obs_store")
+    assert_identical(reference, observed, "instrumented vs add_hash")
+    assert observed.estimates() == reference.estimates(), (
+        "estimates drifted under instrumentation"
+    )
+    # The instrumentation actually ran: spans were recorded and the
+    # WAL-append counters moved (guards against a silently-disabled pass).
+    assert len(trace.spans()) > spans_before
+    appended = metrics.REGISTRY.get("store.wal_append_records")
+    assert appended is not None and appended.value > 0
 
 
 def test_memmap_registers_match_scalar(scenario, reference, tmp_path):

@@ -1,0 +1,26 @@
+"""Isolation for the global obs state: every test starts clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    metrics_was = metrics.enabled()
+    trace_was = trace.enabled()
+    metrics.reset()
+    trace.reset()
+    yield
+    if metrics_was:
+        metrics.enable()
+    else:
+        metrics.disable()
+    if trace_was:
+        trace.enable()
+    else:
+        trace.disable()
+    metrics.reset()
+    trace.reset()

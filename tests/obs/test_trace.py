@@ -1,0 +1,97 @@
+"""Span tracing: nesting, ring-buffer retention, Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import trace
+
+
+def test_disabled_span_records_nothing():
+    context = trace.span("noop")
+    assert context is trace.span("noop")  # one shared no-op object
+    with context:
+        pass
+    assert trace.spans() == []
+
+
+def test_spans_record_name_attrs_and_depth():
+    with trace.tracing():
+        with trace.span("outer", layer="store"):
+            with trace.span("inner"):
+                pass
+    outer = [s for s in trace.spans() if s.name == "outer"][0]
+    inner = [s for s in trace.spans() if s.name == "inner"][0]
+    assert outer.depth == 0 and inner.depth == 1
+    assert dict(outer.attrs) == {"layer": "store"}
+    assert outer.thread_id == threading.get_ident()
+
+
+def test_nesting_is_monotonic():
+    with trace.tracing():
+        with trace.span("a"):
+            with trace.span("b"):
+                with trace.span("c"):
+                    pass
+    by_name = {s.name: s for s in trace.spans()}
+    a, b, c = by_name["a"], by_name["b"], by_name["c"]
+    # Children start no earlier and end no later than their parents.
+    assert a.start <= b.start <= c.start
+    assert c.end <= b.end <= a.end
+    assert (a.depth, b.depth, c.depth) == (0, 1, 2)
+
+
+def test_exception_unwinds_leaked_spans():
+    with trace.tracing():
+        try:
+            with trace.span("outer"):
+                span = trace.span("leaked")
+                span.__enter__()  # never exited: the exception unwinds it
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with trace.span("after"):
+            pass
+    after = [s for s in trace.spans() if s.name == "after"][0]
+    assert after.depth == 0  # the leaked span did not corrupt the stack
+
+
+def test_ring_buffer_keeps_newest():
+    original = trace.capacity()
+    try:
+        trace.set_capacity(4)
+        with trace.tracing():
+            for index in range(10):
+                with trace.span(f"s{index}"):
+                    pass
+        names = [s.name for s in trace.spans()]
+        assert names == ["s6", "s7", "s8", "s9"]
+    finally:
+        trace.set_capacity(original)
+
+
+def test_chrome_trace_export(tmp_path):
+    with trace.tracing():
+        with trace.span("export", key="value"):
+            pass
+    document = json.loads(trace.to_chrome_trace())
+    events = [e for e in document["traceEvents"] if e["name"] == "export"]
+    assert len(events) == 1
+    event = events[0]
+    assert event["ph"] == "X"
+    assert event["dur"] >= 0.0
+    assert event["args"]["key"] == "value"
+    assert event["args"]["depth"] == 0
+    path = tmp_path / "trace.json"
+    trace.save_chrome_trace(path)
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_reset_clears_spans():
+    with trace.tracing():
+        with trace.span("gone"):
+            pass
+    assert trace.spans()
+    trace.reset()
+    assert trace.spans() == []

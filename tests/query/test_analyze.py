@@ -1,0 +1,122 @@
+"""``execute(..., analyze=True)``: per-plan-node timing on every source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregate import DistinctCountAggregator
+from repro.query import (
+    DEFAULT_SOURCE,
+    Estimate,
+    Filter,
+    Scan,
+    SetOp,
+    TopK,
+    execute,
+    explain,
+)
+
+CONFIG = (2, 16, 8, False, 0)
+GROUPS = [b"g0", b"g1", b"g2"]
+
+
+def _aggregator() -> DistinctCountAggregator:
+    aggregator = DistinctCountAggregator(*CONFIG)
+    for index, group in enumerate(GROUPS):
+        items = list(range(index * 1000, index * 1000 + 500))
+        aggregator.add_batch([group] * len(items), items)
+    return aggregator
+
+
+@pytest.fixture(scope="module")
+def seeded_dir(tmp_path_factory):
+    """One ingested store directory shared by the store-backed sources."""
+    from repro.store import SketchStore
+
+    directory = tmp_path_factory.mktemp("analyze_store")
+    with SketchStore.open(directory, t=2, d=16, p=8) as store:
+        for index, group in enumerate(GROUPS):
+            store.append(group, range(index * 1000, index * 1000 + 500))
+    return directory
+
+
+def _sources(seeded_dir):
+    """Every SketchSource kind, lazily opened: (name, open(), close())."""
+    from repro.store import FollowerStore, SketchStore, SnapshotReader, WalShipper
+
+    def follower(directory):
+        replica = FollowerStore.open(directory / "replica")
+        WalShipper(directory).sync(replica)
+        return replica
+
+    return [
+        ("aggregator", lambda d: _aggregator(), lambda s: None),
+        ("store", lambda d: SketchStore.open(d), lambda s: s.close()),
+        ("reader", lambda d: SnapshotReader.open(d), lambda s: s.close()),
+        ("follower", follower, lambda s: s.close()),
+    ]
+
+
+PLANS = {
+    "estimate-all": Estimate(Scan()),
+    "estimate-filtered": Estimate(Filter(Scan(), keys=(b"g0",))),
+    "top-2": TopK(Scan(), 2),
+    "union": Estimate(
+        SetOp("union", Filter(Scan(), keys=(b"g0",)), Filter(Scan(), keys=(b"g1",)))
+    ),
+    "jaccard": SetOp(
+        "jaccard", Filter(Scan(), keys=(b"g0",)), Filter(Scan(), keys=(b"g1",))
+    ),
+}
+
+
+def _walk(node):
+    yield node
+    for attr in ("child", "left", "right"):
+        sub = getattr(node, attr, None)
+        if sub is not None:
+            yield from _walk(sub)
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+def test_analyze_times_every_node_on_every_source(plan_name, seeded_dir):
+    plan = PLANS[plan_name]
+    for name, opener, closer in _sources(seeded_dir):
+        source = opener(seeded_dir)
+        try:
+            plain = execute(plan, source)
+            analyzed = execute(plan, source, analyze=True)
+            # Rows are unchanged by analysis...
+            assert analyzed.rows == plain.rows, f"{name}: rows drifted"
+            assert plain.profile is None
+            # ...and every node of the plan got an inclusive wall time.
+            profile = analyzed.profile
+            assert profile is not None
+            for node in _walk(plan):
+                assert id(node) in profile, (
+                    f"{name}/{plan_name}: {type(node).__name__} missing"
+                )
+                assert profile[id(node)] >= 0.0
+            # explain(profile=...) annotates every line.
+            lines = explain(plan, {DEFAULT_SOURCE: source}, profile=profile)
+            assert all("[time=" in line for line in lines)
+            assert not any("time=n/a" in line for line in lines)
+        finally:
+            closer(source)
+
+
+def test_plain_explain_has_no_timing(seeded_dir):
+    plan = PLANS["estimate-all"]
+    aggregator = _aggregator()
+    lines = explain(plan, {DEFAULT_SOURCE: aggregator})
+    assert not any("[time=" in line for line in lines)
+
+
+def test_child_time_nests_inside_parent():
+    plan = Estimate(Filter(Scan(), keys=(b"g0", b"g1")))
+    result = execute(plan, _aggregator(), analyze=True)
+    profile = result.profile
+    estimate, filter_node, scan = list(_walk(plan))
+    # Inclusive timing: parent >= child >= grandchild.
+    assert profile[id(estimate)] >= profile[id(filter_node)]
+    assert profile[id(filter_node)] >= profile[id(scan)]
