@@ -1,0 +1,51 @@
+"""Horizontal sharding: a hash-partitioned, exactly-mergeable cluster.
+
+:class:`ShardedStore` routes writes by ``shard_of(key, N)`` to N
+independent :class:`~repro.store.SketchStore` shards and rebalances by
+shipping whole group sketches (Algorithm 5 merges are exact, so the
+cluster is bit-identical to a single store). :class:`ClusterSource`
+folds the shards back into one :class:`~repro.query.source.SketchSource`
+for scatter-gather reads.
+"""
+
+from repro.cluster.meta import (
+    CUTOVER_BEGIN,
+    CUTOVER_COMMIT,
+    ClusterMeta,
+    clear_journal,
+    decode_cutover,
+    encode_cutover,
+    read_journal,
+    read_meta,
+    replica_path,
+    shard_path,
+    write_journal,
+    write_meta,
+)
+from repro.cluster.sharded import (
+    RebalanceResult,
+    ShardedStore,
+    ShardStatus,
+    SimulatedCrash,
+)
+from repro.cluster.source import ClusterSource
+
+__all__ = [
+    "CUTOVER_BEGIN",
+    "CUTOVER_COMMIT",
+    "ClusterMeta",
+    "ClusterSource",
+    "RebalanceResult",
+    "ShardStatus",
+    "ShardedStore",
+    "SimulatedCrash",
+    "clear_journal",
+    "decode_cutover",
+    "encode_cutover",
+    "read_journal",
+    "read_meta",
+    "replica_path",
+    "shard_path",
+    "write_journal",
+    "write_meta",
+]

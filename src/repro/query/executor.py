@@ -201,6 +201,17 @@ def _live_sketches(source) -> "Mapping[bytes, Any] | None":
         source = source.source
     if isinstance(source, WindowedSource):
         return source._keyed_sketches()
+    members = getattr(source, "shard_sources", None)
+    if members is not None:
+        # Shards own disjoint key sets, so the union of per-member live
+        # mappings is exactly the single-store mapping.
+        merged: "dict[bytes, Any]" = {}
+        for member in members:
+            live = _live_sketches(member)
+            if live is None:
+                return None
+            merged.update(live)
+        return merged
     aggregator = getattr(source, "aggregator", None)
     if aggregator is not None:
         return aggregator._groups

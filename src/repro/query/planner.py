@@ -60,8 +60,12 @@ def has_cheap_selective(source) -> bool:
 
     A :class:`~repro.store.SnapshotReader` rebuilds a group by selective
     WAL-index replay and a spill re-reads the group's partition; every
-    other source answers from a dict.
+    other source answers from a dict. A sharded cluster routes each key
+    to exactly one member, so it is as cheap as its members.
     """
+    members = getattr(source, "shard_sources", None)
+    if members is not None:
+        return all(has_cheap_selective(member) for member in members)
     return not (
         hasattr(source, "_group_sketch_selective")
         or hasattr(source, "partition_aggregators")
@@ -103,6 +107,9 @@ def access_path(source, filter_node: "Filter | None" = None) -> AccessPath:
 
 def _describe_source(source) -> str:
     name = type(source).__name__
+    members = getattr(source, "shard_sources", None)
+    if members is not None:
+        return f"{name}[{len(members)} shards]"
     inner = getattr(source, "source", None)
     if inner is not None and not callable(inner):
         name += f"[{type(inner).__name__}]"

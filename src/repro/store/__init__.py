@@ -37,6 +37,8 @@ from repro.store.reader import RefreshResult, SnapshotReader
 from repro.store.registers import MemmapRegisters
 from repro.store.replicate import FollowerStore, ShipResult, WalShipper
 from repro.store.sketchstore import (
+    RECORD_CUTOVER,
+    RECORD_DROP,
     RECORD_HASHES,
     RECORD_SKETCH,
     SketchStore,
@@ -61,6 +63,8 @@ __all__ = [
     "DEFAULT_PARTITIONS",
     "FollowerStore",
     "MemmapRegisters",
+    "RECORD_CUTOVER",
+    "RECORD_DROP",
     "RECORD_HASHES",
     "RECORD_SKETCH",
     "RefreshResult",

@@ -32,6 +32,15 @@ Commands
     Fold the WAL into a fresh snapshot generation.
 ``info``
     Show generation, LSNs, WAL size, and group count.
+``cluster``
+    Horizontal sharding (see :mod:`repro.cluster`):
+    ``cluster init DIR --shards N`` creates a hash-partitioned cluster,
+    ``cluster ingest`` routes batches by ``shard_of(key, N)``,
+    ``cluster query`` scatter-gathers the same dialect over every shard
+    (``--reader`` for lock-free per-shard readers), ``cluster rebalance
+    --shards M`` ships whole group sketches to their new owners behind
+    cutover fences, and ``cluster status`` prints per-shard health plus
+    the skew gauge.
 ``stats``
     Observability snapshot: enable :mod:`repro.obs.metrics`, run one
     read pass (replay + refresh + a batched estimate solve) over the
@@ -238,6 +247,95 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the batched estimate pass (replay/refresh metrics only)",
     )
+
+    cluster = commands.add_parser(
+        "cluster", help="hash-partitioned multi-shard cluster operations"
+    )
+    cluster_commands = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cluster_init = cluster_commands.add_parser(
+        "init", help="create a cluster root with N shard stores"
+    )
+    cluster_init.add_argument("directory", help="cluster root directory")
+    cluster_init.add_argument(
+        "--shards", type=int, required=True, help="number of hash partitions"
+    )
+    cluster_init.add_argument("--t", type=int, default=None)
+    cluster_init.add_argument("--d", type=int, default=None)
+    cluster_init.add_argument("--p", type=int, default=None)
+
+    cluster_ingest = cluster_commands.add_parser(
+        "ingest", help="append items, routed to each group's owner shard"
+    )
+    cluster_ingest.add_argument("directory", help="cluster root directory")
+    cluster_ingest.add_argument("--group", default="default", help="group key (string)")
+    cluster_ingest.add_argument("--items", nargs="+", help="literal items to add")
+    cluster_ingest.add_argument(
+        "--count", type=int, help="add COUNT synthetic distinct integers"
+    )
+    cluster_ingest.add_argument(
+        "--offset", type=int, default=0, help="first synthetic integer"
+    )
+    cluster_ingest.add_argument(
+        "--batch", type=int, default=8192, help="items per WAL record"
+    )
+    cluster_ingest.add_argument(
+        "--fsync", action="store_true", help="fsync every WAL record"
+    )
+    cluster_ingest.add_argument(
+        "--crash",
+        action="store_true",
+        help=f"os._exit({CRASH_EXIT_CODE}) after ingest, skipping clean shutdown",
+    )
+
+    cluster_query = cluster_commands.add_parser(
+        "query", help="scatter-gather one dialect query over every shard"
+    )
+    cluster_query.add_argument("directory", help="cluster root directory")
+    cluster_query.add_argument(
+        "text", nargs="?", default="estimate all", help='dialect query (default: "estimate all")'
+    )
+    cluster_query.add_argument(
+        "--reader",
+        action="store_true",
+        help="open lock-free per-shard SnapshotReaders instead of read-only stores",
+    )
+    cluster_query.add_argument(
+        "--explain", action="store_true", help="print the physical plan before the rows"
+    )
+    cluster_query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute with per-plan-node timing (EXPLAIN ANALYZE)",
+    )
+    cluster_query.add_argument(
+        "--now", type=float, help="time anchor for 'window' clauses"
+    )
+    cluster_query.add_argument(
+        "--expect",
+        type=float,
+        help="expected value of a single-row result (exit 1 on miss)",
+    )
+    cluster_query.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="allowed relative error against --expect (default 0.1)",
+    )
+
+    cluster_rebalance = cluster_commands.add_parser(
+        "rebalance",
+        help="change the shard fan-out by shipping whole group sketches",
+    )
+    cluster_rebalance.add_argument("directory", help="cluster root directory")
+    cluster_rebalance.add_argument(
+        "--shards", type=int, required=True, help="new number of hash partitions"
+    )
+
+    cluster_status = cluster_commands.add_parser(
+        "status", help="per-shard health plus the cluster skew gauge"
+    )
+    cluster_status.add_argument("directory", help="cluster root directory")
     return parser
 
 
@@ -278,11 +376,12 @@ def _command_ingest(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _command_query(arguments: argparse.Namespace) -> int:
-    """One dialect query, planned and executed by :mod:`repro.query`.
+def _run_dialect_query(source, arguments: argparse.Namespace, footer=None) -> int:
+    """Parse/plan/execute one dialect query over an opened ``source``.
 
-    The store (or reader, with ``--reader``) binds the plan's default
-    scan; every estimate resolves through the batched one-solve path.
+    Shared by ``query`` (single store or reader) and ``cluster query``
+    (scatter-gather); ``footer()`` prints source-specific trailer lines
+    between the rows and the ``--expect`` verdict.
     """
     from repro.query import DEFAULT_SOURCE, ParseError, execute, explain, parse
 
@@ -291,39 +390,53 @@ def _command_query(arguments: argparse.Namespace) -> int:
     except ParseError as error:
         print(f"query: {error}", file=sys.stderr)
         return 2
+    if arguments.explain and not arguments.analyze:
+        for line in explain(plan, {DEFAULT_SOURCE: source}):
+            print(line)
+    result = execute(plan, source, now=arguments.now, analyze=arguments.analyze)
+    if arguments.analyze:
+        for line in explain(plan, {DEFAULT_SOURCE: source}, profile=result.profile):
+            print(line)
+    for key, estimate in result.rows:
+        print(f"{DistinctCountAggregator.decode_key(key)}\t{estimate:.1f}")
+    if footer is not None:
+        footer()
+    if arguments.expect is not None:
+        if len(result.rows) != 1:
+            print(
+                f"query: --expect needs a single-row result, got "
+                f"{len(result.rows)} rows",
+                file=sys.stderr,
+            )
+            return 2
+        error = abs(result.value / arguments.expect - 1.0)
+        status = "ok" if error <= arguments.tolerance else "FAIL"
+        print(
+            f"expected {arguments.expect:.0f}, relative error "
+            f"{error:.4f} (tolerance {arguments.tolerance}) -> {status}"
+        )
+        return 0 if status == "ok" else 1
+    return 0
+
+
+def _command_query(arguments: argparse.Namespace) -> int:
+    """One dialect query, planned and executed by :mod:`repro.query`.
+
+    The store (or reader, with ``--reader``) binds the plan's default
+    scan; every estimate resolves through the batched one-solve path.
+    """
     opener = SnapshotReader.open if arguments.reader else SketchStore.open
     with opener(arguments.directory) as source:
-        if arguments.explain and not arguments.analyze:
-            for line in explain(plan, {DEFAULT_SOURCE: source}):
-                print(line)
-        result = execute(plan, source, now=arguments.now, analyze=arguments.analyze)
-        if arguments.analyze:
-            for line in explain(
-                plan, {DEFAULT_SOURCE: source}, profile=result.profile
-            ):
-                print(line)
-        for key, estimate in result.rows:
-            print(f"{DistinctCountAggregator.decode_key(key)}\t{estimate:.1f}")
+        footer = None
         if arguments.reader:
-            print(
-                f"generation {source.generation}, durable LSN {source.durable_lsn}"
-            )
-        if arguments.expect is not None:
-            if len(result.rows) != 1:
+
+            def footer():
                 print(
-                    f"query: --expect needs a single-row result, got "
-                    f"{len(result.rows)} rows",
-                    file=sys.stderr,
+                    f"generation {source.generation}, durable LSN "
+                    f"{source.durable_lsn}"
                 )
-                return 2
-            error = abs(result.value / arguments.expect - 1.0)
-            status = "ok" if error <= arguments.tolerance else "FAIL"
-            print(
-                f"expected {arguments.expect:.0f}, relative error "
-                f"{error:.4f} (tolerance {arguments.tolerance}) -> {status}"
-            )
-            return 0 if status == "ok" else 1
-    return 0
+
+        return _run_dialect_query(source, arguments, footer)
 
 
 #: Exceptions the serve/replicate loops survive with backoff: filesystem
@@ -537,6 +650,84 @@ def _command_stats(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cluster(arguments: argparse.Namespace) -> int:
+    """Dispatch ``cluster init|ingest|query|rebalance|status``."""
+    from repro.cluster import ClusterSource, ShardedStore
+
+    command = arguments.cluster_command
+    if command == "init":
+        with ShardedStore.open(
+            arguments.directory,
+            shards=arguments.shards,
+            t=arguments.t,
+            d=arguments.d,
+            p=arguments.p,
+        ) as cluster:
+            print(
+                f"initialised cluster at {cluster.root} with "
+                f"{cluster.shards} shards (config {cluster.config})"
+            )
+        return 0
+    if command == "ingest":
+        if arguments.items is None and arguments.count is None:
+            print("cluster ingest: need --items or --count", file=sys.stderr)
+            return 2
+        cluster = ShardedStore.open(arguments.directory, fsync=arguments.fsync)
+        appended = 0
+        if arguments.items:
+            cluster.append(arguments.group, arguments.items)
+            appended += len(arguments.items)
+        if arguments.count:
+            import numpy as np
+
+            for start in range(0, arguments.count, arguments.batch):
+                stop = min(start + arguments.batch, arguments.count)
+                values = np.arange(
+                    arguments.offset + start, arguments.offset + stop, dtype=np.int64
+                )
+                cluster.append(arguments.group, values)
+                appended += len(values)
+        owner = cluster.shard_of(arguments.group)
+        print(
+            f"appended {appended} items to group {arguments.group!r} "
+            f"(shard {owner} of {cluster.shards})"
+        )
+        if arguments.crash:
+            print("simulating crash: exiting without clean shutdown", flush=True)
+            os._exit(CRASH_EXIT_CODE)
+        cluster.close()
+        return 0
+    if command == "query":
+        with ClusterSource.open(arguments.directory, reader=arguments.reader) as source:
+            return _run_dialect_query(source, arguments)
+    if command == "rebalance":
+        with ShardedStore.open(arguments.directory) as cluster:
+            result = cluster.rebalance(arguments.shards)
+            print(
+                f"rebalanced {result.from_shards} -> {result.to_shards} shards "
+                f"(epoch {result.epoch}): moved {result.moved_groups} groups, "
+                f"shipped {result.shipped_bytes} sketch bytes"
+            )
+        return 0
+    if command == "status":
+        with ShardedStore.open(arguments.directory) as cluster:
+            print(
+                f"cluster:  {cluster.root} ({cluster.shards} shards, "
+                f"epoch {cluster.epoch}, {len(cluster)} groups)"
+            )
+            for status in cluster.status():
+                print(
+                    f"shard {status.index:4d}: groups={status.groups} "
+                    f"generation={status.generation} "
+                    f"wal_records={status.wal_records} "
+                    f"wal_bytes={status.wal_bytes} "
+                    f"durable_lsn={status.durable_lsn}"
+                )
+            print(f"skew:     {cluster.skew():.3f} (1.0 = balanced)")
+        return 0
+    raise AssertionError(f"unknown cluster command {command!r}")
+
+
 def main(argv: "list[str] | None" = None) -> int:
     arguments = build_parser().parse_args(argv)
     handler = {
@@ -547,6 +738,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "compact": _command_compact,
         "info": _command_info,
         "stats": _command_stats,
+        "cluster": _command_cluster,
     }[arguments.command]
     try:
         return handler(arguments)

@@ -201,15 +201,19 @@ class SnapshotReader:
         )
         if stored_generation != generation:
             raise SerializationError(
-                f"snapshot {generation} holds generation {stored_generation}"
+                f"{self._directory}: snapshot file for generation {generation} "
+                f"holds generation {stored_generation} (foreign or renamed "
+                "snapshot in the store directory)"
             )
         if base_lsn < self._durable_lsn:
             # A newer snapshot folds in at least every LSN any reader has
             # proven durable; going backwards means the directory was
             # swapped for an unrelated (or restored-from-backup) store.
             raise SerializationError(
-                f"snapshot generation {generation} has base LSN {base_lsn}, "
-                f"behind the already-observed horizon {self._durable_lsn}"
+                f"{self._directory}: snapshot generation {generation} has "
+                f"base LSN {base_lsn}, behind the already-observed horizon "
+                f"{self._durable_lsn} (directory swapped for an unrelated "
+                "or restored-from-backup store)"
             )
         if self._wal_handle is not None:
             self._wal_handle.close()

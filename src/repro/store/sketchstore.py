@@ -19,9 +19,16 @@ Each WAL record uses the LSN framing of
 :func:`repro.storage.serialization.write_lsn_record` with two record kinds:
 
 * ``RECORD_HASHES`` (0x01) — payload is ``n * 8`` little-endian uint64
-  hash values folded into the key's sketch, and
+  hash values folded into the key's sketch,
 * ``RECORD_SKETCH`` (0x02) — payload is a serialized sketch merged into
-  the key's sketch (how retired sliding-window buckets persist).
+  the key's sketch (how retired sliding-window buckets persist and how
+  a cluster rebalance ships whole groups between shards),
+* ``RECORD_DROP`` (0x03) — empty payload; the key's group is removed
+  (how a rebalance retires groups their shard no longer owns), and
+* ``RECORD_CUTOVER`` (0x04) — a state no-op fence written by cluster
+  rebalancing (see :mod:`repro.cluster`); the payload names the epoch
+  and shard counts so replicas and readers replaying the log can tell
+  exactly where ownership changed.
 
 Every record carries a **log sequence number**: LSNs start at 1, increase
 by exactly 1 per record, and keep counting across compactions (a
@@ -77,6 +84,8 @@ from repro.storage.serialization import (
 #: WAL record kinds.
 RECORD_HASHES = 0x01
 RECORD_SKETCH = 0x02
+RECORD_DROP = 0x03
+RECORD_CUTOVER = 0x04
 
 # Observability handles (collection off unless REPRO_METRICS is set).
 _WAL_APPEND_BYTES = _metrics.counter(
@@ -271,6 +280,14 @@ def apply_wal_record(
         sketch.add_hashes(hashes)
     elif kind == RECORD_SKETCH:
         _merge_sketch_into(aggregator, key, sketch_from_blob(payload))
+    elif kind == RECORD_DROP:
+        if payload:
+            raise SerializationError(
+                f"drop record carries a {len(payload)}-byte payload"
+            )
+        aggregator._groups.pop(key, None)
+    elif kind == RECORD_CUTOVER:
+        pass  # cluster rebalance fence: no state transition
     else:
         raise SerializationError(f"unknown WAL record kind {kind:#x}")
 
@@ -577,6 +594,32 @@ class SketchStore:
         key = DistinctCountAggregator._group_key(group)
         self._append_record(RECORD_SKETCH, key, sketch_to_blob(sketch))
         _merge_sketch_into(self._aggregator, key, sketch)
+        self._maybe_auto_compact()
+        return self
+
+    def drop_group(self, group: Hashable) -> "SketchStore":
+        """Durably remove ``group`` from the store; returns ``self``.
+
+        The WAL records the drop, so recovery, readers and followers all
+        converge on the removal. Dropping an absent group is a no-op
+        record (idempotent — a rebalance retrying after a crash may drop
+        twice).
+        """
+        key = DistinctCountAggregator._group_key(group)
+        self._append_record(RECORD_DROP, key, b"")
+        self._aggregator._groups.pop(key, None)
+        self._maybe_auto_compact()
+        return self
+
+    def append_cutover(self, payload: bytes) -> "SketchStore":
+        """Durably write a cluster-rebalance fence record; returns ``self``.
+
+        A pure log marker (state no-op, keyed ``b""``): anything replaying
+        this WAL — recovery, a reader tail, a follower replica — carries
+        the fence at exactly the LSN the rebalance wrote it, which is what
+        lets a replica chain prove on which side of a cutover it stopped.
+        """
+        self._append_record(RECORD_CUTOVER, b"", bytes(payload))
         self._maybe_auto_compact()
         return self
 

@@ -84,7 +84,16 @@ def write_spill_meta(directory, config, partitions: int) -> None:
 def read_spill_meta(directory) -> tuple[tuple[int, int, int, bool, int], int]:
     """Read a spill directory's ``(config, partitions)`` sidecar."""
     path = pathlib.Path(directory) / _META_NAME
-    data = path.read_bytes()
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError as error:
+        # Keep the type (SpilledGroupBy.__init__ branches on it) but name
+        # the directory — a bare errno is hard to attribute when a query
+        # process attaches to many shard/spill directories at once.
+        raise FileNotFoundError(
+            f"{pathlib.Path(directory)}: not a spill directory (missing the "
+            f"{_META_NAME} sidecar a SpilledGroupBy writer persists)"
+        ) from error
     offset = _check_file_header(data, TAG_SPILL_META, path)
     if len(data) < offset + 4:
         raise SerializationError(f"{path}: truncated spill configuration")

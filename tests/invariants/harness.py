@@ -318,6 +318,71 @@ def build_instrumented(scenario: Scenario, directory) -> DistinctCountAggregator
     return aggregator
 
 
+def build_sharded_cluster(
+    scenario: Scenario, directory, shards: int = 4
+) -> DistinctCountAggregator:
+    """Horizontal-sharding path: the schedule routed by ``shard_of``.
+
+    Every keyed op lands on its owner shard (own WAL, own snapshot
+    cadence); compactions hit every shard. The returned state is what a
+    fresh process recovers from the cluster directory — per-shard
+    snapshot load + WAL-tail replay — reassembled into one aggregator.
+    Exact mergeability is why this must be bit-identical to a single
+    store over the same stream.
+    """
+    from repro.cluster import ShardedStore
+
+    t, d, p, sparse, seed = scenario.config
+    cluster = ShardedStore.open(
+        directory, shards=shards, t=t, d=d, p=p, sparse=sparse, seed=seed
+    )
+    for step in scenario.steps:
+        if step.op == OP_HASHES:
+            cluster.append_hashes(step.group, step.hashes)
+        elif step.op == OP_SKETCH:
+            cluster.merge_sketch(step.group, _merge_sketch(scenario, step))
+        elif step.op == OP_COMPACT:
+            cluster.compact()
+    cluster.close()
+    recovered = ShardedStore.open(directory)
+    aggregator = recovered.to_aggregator()
+    recovered.close()
+    return aggregator
+
+
+def build_rebalanced_cluster(
+    scenario: Scenario, directory, shards: int = 3, new_shards: int = 5
+) -> DistinctCountAggregator:
+    """Sharding path with a mid-schedule rebalance (``shards`` → ``new_shards``).
+
+    Half the schedule lands under the old fan-out, then whole group
+    sketches ship to their new owners behind cutover fences, then the
+    rest of the schedule lands under the new fan-out — the moved-sketch
+    merges and drops must be invisible in the final registers.
+    """
+    from repro.cluster import ShardedStore
+
+    t, d, p, sparse, seed = scenario.config
+    cluster = ShardedStore.open(
+        directory, shards=shards, t=t, d=d, p=p, sparse=sparse, seed=seed
+    )
+    pivot = len(scenario.steps) // 2
+    for index, step in enumerate(scenario.steps):
+        if index == pivot:
+            cluster.rebalance(new_shards)
+        if step.op == OP_HASHES:
+            cluster.append_hashes(step.group, step.hashes)
+        elif step.op == OP_SKETCH:
+            cluster.merge_sketch(step.group, _merge_sketch(scenario, step))
+        elif step.op == OP_COMPACT:
+            cluster.compact()
+    cluster.close()
+    recovered = ShardedStore.open(directory)
+    aggregator = recovered.to_aggregator()
+    recovered.close()
+    return aggregator
+
+
 # -- query plane ---------------------------------------------------------------
 
 

@@ -16,7 +16,9 @@ from tests.invariants.harness import (
     build_instrumented,
     build_memmap_registers,
     build_parallel,
+    build_rebalanced_cluster,
     build_scalar,
+    build_sharded_cluster,
     build_store,
     build_warm_pool,
     random_scenario,
@@ -63,6 +65,30 @@ def test_store_replay_matches_scalar(scenario, reference, tmp_path):
 def test_follower_matches_scalar(scenario, reference, tmp_path):
     replica = build_follower(scenario, tmp_path / "leader", tmp_path / "replica")
     assert_identical(reference, replica, "follower-replicated vs add_hash")
+
+
+def test_sharded_cluster_matches_scalar(scenario, reference, tmp_path):
+    """A hash-partitioned cluster ≡ one store: registers AND estimates.
+
+    The sharding claim is exactly the paper's mergeability claim worn
+    sideways — each group's shard sees the same stream a single store
+    would, so recovery from N shard directories must reassemble the
+    byte-identical aggregator and float-identical estimates.
+    """
+    clustered = build_sharded_cluster(scenario, tmp_path / "cluster")
+    assert_identical(reference, clustered, "sharded cluster vs add_hash")
+    assert clustered.estimates() == reference.estimates(), (
+        "cluster estimates drifted from the single-store floats"
+    )
+
+
+def test_rebalanced_cluster_matches_scalar(scenario, reference, tmp_path):
+    """Shipping whole sketches between shards mid-stream changes nothing."""
+    rebalanced = build_rebalanced_cluster(scenario, tmp_path / "cluster")
+    assert_identical(reference, rebalanced, "rebalanced cluster vs add_hash")
+    assert rebalanced.estimates() == reference.estimates(), (
+        "post-rebalance estimates drifted from the single-store floats"
+    )
 
 
 def test_instrumented_matches_uninstrumented(scenario, reference, tmp_path):

@@ -205,3 +205,23 @@ def test_group_sketch_index_cache_tracks_appends(tmp_path):
                 reader.group_sketch("DE").to_bytes()
                 == store.aggregator._groups[b"DE"].to_bytes()
             )
+
+
+def test_foreign_snapshot_error_names_the_directory(tmp_path):
+    """A snapshot file holding the wrong generation is attributed to its
+    store directory (multi-shard layouts open many directories at once)."""
+    import shutil
+
+    with SketchStore.open(tmp_path / "s") as store:
+        store.append_hashes("DE", _hashes(31, 50))
+        store.compact()
+    # A foreign/renamed snapshot: generation 1's bytes under generation 2's
+    # name becomes the newest generation the reader will try to open.
+    shutil.copy(
+        tmp_path / "s" / "snapshot-00000001.bin",
+        tmp_path / "s" / "snapshot-00000002.bin",
+    )
+    with pytest.raises(SerializationError) as excinfo:
+        SnapshotReader.open(tmp_path / "s")
+    assert str(tmp_path / "s") in str(excinfo.value)
+    assert "holds generation" in str(excinfo.value)

@@ -107,3 +107,13 @@ def test_attach_tolerates_writers_torn_tail(tmp_path):
     with pytest.raises(SerializationError, match="truncated"):
         list(read_spill_file(victim))  # the strict (writer) read still raises
     writer.close()
+
+
+def test_attach_missing_meta_names_the_directory(tmp_path):
+    """Attaching a non-spill directory says *which* directory and why —
+    a bare errno is hard to attribute in a multi-shard layout."""
+    (tmp_path / "not-a-spill").mkdir()
+    with pytest.raises(FileNotFoundError, match="not-a-spill.*spill.meta"):
+        SpilledGroupBy.attach(tmp_path / "not-a-spill")
+    with pytest.raises(FileNotFoundError, match="not a spill directory"):
+        read_spill_meta(tmp_path / "not-a-spill")
